@@ -1,0 +1,245 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/chip"
+	"repro/internal/kernels"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/stats"
+)
+
+// The benchmarks regenerate each figure of the paper at test scale and
+// report the figure's headline metric. Run the cmd/figures binary with
+// -scale full for the paper-scale sweeps recorded in EXPERIMENTS.md.
+
+func mean(ys []float64) float64 { return stats.Summarize(ys).Mean }
+
+// BenchmarkFig2StreamTriadOffsets regenerates the Fig. 2 offset sweep and
+// reports the bandwidth floor, ceiling and their ratio.
+func BenchmarkFig2StreamTriadOffsets(b *testing.B) {
+	o := bench.Small()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig2(o)
+		hi := r.Triad[len(r.Triad)-1]
+		s := stats.Summarize(hi.Y)
+		b.ReportMetric(s.Min, "floor-GB/s")
+		b.ReportMetric(s.Max, "ceiling-GB/s")
+		b.ReportMetric(s.Max/s.Min, "ceiling/floor")
+	}
+}
+
+// BenchmarkFig4VectorTriadAlignment regenerates Fig. 4 and reports the
+// page-aligned worst case against the planned-offset optimum.
+func BenchmarkFig4VectorTriadAlignment(b *testing.B) {
+	o := bench.Small()
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig4(o)
+		for _, s := range series {
+			switch s.Name {
+			case "align8k":
+				b.ReportMetric(mean(s.Y), "worst-GB/s")
+			case "align8k+128":
+				b.ReportMetric(mean(s.Y), "best-GB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5SegmentedOverhead regenerates Fig. 5 and reports the
+// relative overhead of segmented iterators at the largest N.
+func BenchmarkFig5SegmentedOverhead(b *testing.B) {
+	o := bench.Small()
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig5(o, 64)
+		seg, plain := series[0], series[1]
+		n := seg.Len() - 1
+		b.ReportMetric((plain.Y[n]-seg.Y[n])/plain.Y[n]*100, "overhead-%")
+	}
+}
+
+// BenchmarkFig6Jacobi regenerates Fig. 6 and reports the optimized and
+// plain 64-thread MLUPs/s.
+func BenchmarkFig6Jacobi(b *testing.B) {
+	o := bench.Small()
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig6(o)
+		for _, s := range series {
+			switch s.Name {
+			case "64T":
+				b.ReportMetric(mean(s.Y), "opt-MLUPs")
+			case "64T plain":
+				b.ReportMetric(mean(s.Y), "plain-MLUPs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7LBM regenerates Fig. 7 and reports the fused IvJK level and
+// the thrash-size dip.
+func BenchmarkFig7LBM(b *testing.B) {
+	o := bench.Small()
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig7(o)
+		for _, s := range series {
+			if s.Name == "64T IvJK fused" {
+				sm := stats.Summarize(s.Y)
+				b.ReportMetric(sm.Max, "peak-MLUPs")
+				b.ReportMetric(sm.Min, "thrash-MLUPs")
+			}
+		}
+	}
+}
+
+// ---- ablations ---------------------------------------------------------------
+
+func triadProg(offsetWords int64, sweeps int) (*alloc.Space, kernels.Stream) {
+	sp := alloc.NewSpace()
+	const n = 1 << 17
+	bases := sp.Common(3, n+offsetWords, phys.WordSize)
+	k := kernels.StreamTriad(bases[0], bases[1], bases[2], n)
+	k.Sweeps = sweeps
+	return sp, k
+}
+
+func runTriad(cfg chip.Config, offsetWords int64) chip.Result {
+	_, k := triadProg(offsetWords, 1)
+	p := k.Program(omp.StaticBlock{}, 64)
+	p.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+	return chip.New(cfg).Run(p)
+}
+
+// BenchmarkAblationXORMapping (A1): rerunning the worst-case offset with a
+// hashed controller interleave removes the aliasing entirely — the design
+// question "would a hashed mapping have hidden the paper's effect?".
+func BenchmarkAblationXORMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2 := runTriad(chip.Default(), 0)
+		cfg := chip.Default()
+		cfg.Mapping = phys.XORMapping{}
+		xor := runTriad(cfg, 0)
+		b.ReportMetric(t2.GBps, "t2-GB/s")
+		b.ReportMetric(xor.GBps, "xor-GB/s")
+		b.ReportMetric(xor.GBps/t2.GBps, "xor/t2")
+	}
+}
+
+// BenchmarkAblationMSHR (A2): with more outstanding misses per strand,
+// fewer threads are needed to hide latency — 8 threads with 4 MSHRs
+// approach what 32 single-MSHR threads deliver (Sect. 1's motivation for
+// running many threads per core).
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := chip.Default()
+		_, k := triadProg(13, 1)
+		p := k.Program(omp.StaticBlock{}, 8)
+		p.WarmLines = base.L2.SizeBytes / phys.LineSize
+		one := chip.New(base).Run(p)
+
+		cfg := chip.Default()
+		cfg.MSHRPerStrand = 4
+		_, k4 := triadProg(13, 1)
+		p4 := k4.Program(omp.StaticBlock{}, 8)
+		p4.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+		four := chip.New(cfg).Run(p4)
+
+		b.ReportMetric(one.GBps, "8T-1mshr-GB/s")
+		b.ReportMetric(four.GBps, "8T-4mshr-GB/s")
+	}
+}
+
+// BenchmarkAblationTurnaround (A3): the bidirectional-transfer conjecture
+// of Sect. 2.1 — removing the write-to-read channel coupling lifts
+// read+write kernels but leaves load-only kernels unchanged.
+func BenchmarkAblationTurnaround(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := runTriad(chip.Default(), 16)
+		cfg := chip.Default()
+		cfg.Mem.WriteCouple = 0
+		without := runTriad(cfg, 16)
+		b.ReportMetric(with.GBps, "coupled-GB/s")
+		b.ReportMetric(without.GBps, "uncoupled-GB/s")
+	}
+}
+
+// BenchmarkAblationRunAhead (A4): the aliasing convoy requires strand
+// phase coherence; widening the run-ahead window dissolves it and the
+// worst-case offset recovers almost full bandwidth.
+func BenchmarkAblationRunAhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		coupled := runTriad(chip.Default(), 0)
+		cfg := chip.Default()
+		cfg.RunAhead = 0
+		free := runTriad(cfg, 0)
+		b.ReportMetric(coupled.GBps, "window2-GB/s")
+		b.ReportMetric(free.GBps, "unbounded-GB/s")
+	}
+}
+
+// ---- host-level Fig. 5: real iterator overhead --------------------------------
+
+func hostArrays(n int64, threads int) (*segarray.Array[float64], *segarray.Array[float64], *segarray.Array[float64], *segarray.Array[float64]) {
+	sp := alloc.NewSpace()
+	lens := segarray.EqualSegments(n, threads)
+	mk := func() *segarray.Array[float64] {
+		a := segarray.NewArray[float64](segarray.Plan(sp, segarray.Params{ElemSize: 8, SegAlign: 512}, lens))
+		a.Fill(1.5)
+		return a
+	}
+	return mk(), mk(), mk(), mk()
+}
+
+// BenchmarkSegIterHostSegments measures the paper's recommended pattern on
+// real hardware: per-segment plain-slice loops (native speed).
+func BenchmarkSegIterHostSegments(b *testing.B) {
+	const n = 1 << 16
+	a, x, y, z := hostArrays(n, 64)
+	b.SetBytes(n * 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < a.NumSegments(); s++ {
+			kernels.VectorTriad(a.Segment(s), x.Segment(s), y.Segment(s), z.Segment(s))
+		}
+	}
+}
+
+// BenchmarkSegIterHostIterator measures the general segmented iterator
+// with its per-element segment-boundary branch — the overhead the paper's
+// operator++ discussion warns about.
+func BenchmarkSegIterHostIterator(b *testing.B) {
+	const n = 1 << 16
+	a, x, y, z := hostArrays(n, 64)
+	b.SetBytes(n * 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia, ix, iy, iz := a.Begin(), x.Begin(), y.Begin(), z.Begin()
+		for ia.Valid() {
+			*ia.Value() = *ix.Value() + *iy.Value()**iz.Value()
+			ia.Next()
+			ix.Next()
+			iy.Next()
+			iz.Next()
+		}
+	}
+}
+
+// BenchmarkSegIterHostPlain is the contiguous-slice baseline.
+func BenchmarkSegIterHostPlain(b *testing.B) {
+	const n = 1 << 16
+	a := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i] = 1, 2, 3
+	}
+	b.SetBytes(n * 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.VectorTriad(a, x, y, z)
+	}
+}

@@ -1,0 +1,105 @@
+// Command figures regenerates the paper's evaluation figures (Figs. 2, 4,
+// 5, 6, 7) on the simulated UltraSPARC T2, writes each as CSV, renders a
+// plain-text plot, and runs the shape checks that encode the paper's
+// qualitative claims.
+//
+// Usage:
+//
+//	figures [-fig all|2|4|5|6|7] [-scale full|small] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 4, 5, 6, 7")
+	scale := flag.String("scale", "full", "experiment scale: full or small")
+	out := flag.String("out", "figures-out", "output directory for CSV files")
+	flag.Parse()
+
+	var o bench.Options
+	switch *scale {
+	case "full":
+		o = bench.Default()
+	case "small":
+		o = bench.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	failed := false
+
+	emit := func(name, xlabel string, series []stats.Series, check error) {
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := stats.WriteCSV(f, xlabel, series); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		stats.Plot(os.Stdout, name, series, 78, 16)
+		if check != nil {
+			failed = true
+			fmt.Printf("SHAPE-CHECK %s: FAIL: %v\n\n", name, check)
+		} else {
+			fmt.Printf("SHAPE-CHECK %s: ok (written to %s)\n\n", name, path)
+		}
+	}
+
+	if run("2") {
+		start := time.Now()
+		r := bench.Fig2(o)
+		fmt.Printf("== Fig. 2 (STREAM vs offset) — %s ==\n", time.Since(start).Round(time.Second))
+		series := append(append([]stats.Series{}, r.Triad...), r.Copy)
+		emit("fig2", "offset_words", series, bench.CheckFig2(r, o.OffsetStep))
+	}
+	if run("4") {
+		start := time.Now()
+		s := bench.Fig4(o)
+		fmt.Printf("== Fig. 4 (vector triad vs N) — %s ==\n", time.Since(start).Round(time.Second))
+		emit("fig4", "N", s, bench.CheckFig4(s))
+	}
+	if run("5") {
+		start := time.Now()
+		s := bench.Fig5(o, 64)
+		fmt.Printf("== Fig. 5 (segmented iterator overhead) — %s ==\n", time.Since(start).Round(time.Second))
+		emit("fig5", "N", s, bench.CheckFig5(s))
+	}
+	if run("6") {
+		start := time.Now()
+		s := bench.Fig6(o)
+		fmt.Printf("== Fig. 6 (2D Jacobi vs N) — %s ==\n", time.Since(start).Round(time.Second))
+		emit("fig6", "N", s, bench.CheckFig6(s))
+	}
+	if run("7") {
+		start := time.Now()
+		s := bench.Fig7(o)
+		fmt.Printf("== Fig. 7 (LBM vs N) — %s ==\n", time.Since(start).Round(time.Second))
+		emit("fig7", "N", s, bench.CheckFig7(s))
+	}
+
+	if failed {
+		fmt.Println(strings.Repeat("-", 40))
+		fmt.Println("one or more shape checks FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,173 @@
+// Command t2sim runs a single kernel on the simulated UltraSPARC T2 with
+// explicit placement parameters and prints the performance report —
+// bandwidth, MLUPs, per-controller utilization and the strand time
+// breakdown.
+//
+// Examples:
+//
+//	t2sim -kernel triad -n 524288 -threads 64 -offset 0
+//	t2sim -kernel triad -n 524288 -threads 64 -offset 13
+//	t2sim -kernel vtriad -n 1048576 -threads 64 -arrayoffset 128
+//	t2sim -kernel jacobi -n 1200 -threads 64 -opt
+//	t2sim -kernel lbm -n 96 -threads 64 -layout IvJK -fused
+//	t2sim -kernel triad -n 524288 -threads 64 -offset 0 -mapping xor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/kernels"
+	"repro/internal/lbm"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/trace"
+)
+
+func main() {
+	kernel := flag.String("kernel", "triad", "kernel: copy, scale, add, triad, vtriad, loadsum, jacobi, lbm")
+	n := flag.Int64("n", 1<<19, "problem size (elements; grid edge for jacobi/lbm)")
+	threads := flag.Int("threads", 64, "software threads (1..64)")
+	offset := flag.Int64("offset", 0, "STREAM COMMON-block offset in DP words")
+	arrayOffset := flag.Int64("arrayoffset", 0, "per-array byte offset (array i shifted by i*offset)")
+	sweeps := flag.Int("sweeps", 1, "passes over the data")
+	sched := flag.String("sched", "static", "schedule: static, static1, dynamic, guided")
+	mapping := flag.String("mapping", "t2", "address mapping: t2, xor, single")
+	layoutName := flag.String("layout", "IvJK", "LBM layout: IJKv or IvJK")
+	fused := flag.Bool("fused", false, "LBM: coalesce the outer loop pair")
+	opt := flag.Bool("opt", false, "jacobi: apply the planner's row placement (512B align, 128B shift)")
+	msar := flag.Int("mshr", 1, "outstanding load misses per strand (ablation)")
+	runAhead := flag.Int64("runahead", 2, "strand run-ahead window in items; 0 = unbounded")
+	flag.Parse()
+
+	cfg := chip.Default()
+	cfg.MSHRPerStrand = *msar
+	cfg.RunAhead = *runAhead
+	switch *mapping {
+	case "t2":
+	case "xor":
+		cfg.Mapping = phys.XORMapping{}
+	case "single":
+		cfg.Mapping = phys.SingleMapping{}
+	default:
+		fail("unknown mapping %q", *mapping)
+	}
+
+	var schedule omp.Schedule
+	switch *sched {
+	case "static":
+		schedule = omp.StaticBlock{}
+	case "static1":
+		schedule = omp.StaticChunk{Size: 1}
+	case "dynamic":
+		schedule = omp.Dynamic{Size: 1}
+	case "guided":
+		schedule = omp.Guided{Min: 1}
+	default:
+		fail("unknown schedule %q", *sched)
+	}
+
+	sp := alloc.NewSpace()
+	var prog *trace.Program
+
+	switch *kernel {
+	case "copy", "scale", "add", "triad":
+		bases := sp.Common(3, *n+*offset, phys.WordSize)
+		var k kernels.Stream
+		switch *kernel {
+		case "copy":
+			k = kernels.StreamCopy(bases[2], bases[0], *n)
+		case "scale":
+			k = kernels.StreamScale(bases[1], bases[2], *n)
+		case "add":
+			k = kernels.StreamAdd(bases[2], bases[0], bases[1], *n)
+		case "triad":
+			k = kernels.StreamTriad(bases[0], bases[1], bases[2], *n)
+		}
+		k.Sweeps = *sweeps
+		prog = k.Program(schedule, *threads)
+	case "vtriad":
+		bases := sp.OffsetBases(4, *n*phys.WordSize, phys.PageSize, *arrayOffset)
+		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], *n)
+		k.Sweeps = *sweeps
+		prog = k.Program(schedule, *threads)
+	case "loadsum":
+		bases := sp.OffsetBases(4, *n*phys.WordSize, phys.PageSize, *arrayOffset)
+		k := kernels.LoadSum(bases, *n)
+		k.Sweeps = *sweeps
+		prog = k.Program(schedule, *threads)
+	case "jacobi":
+		spec := jacobi.Spec{N: *n, Sched: schedule, Sweeps: *sweeps}
+		if *opt {
+			rp := core.PlanRows(core.T2Spec())
+			params := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
+				SegAlign: rp.SegAlign, Shift: rp.Shift}
+			rows := make([]int64, *n)
+			for i := range rows {
+				rows[i] = *n
+			}
+			srcL := segarray.Plan(sp, params, rows)
+			dstL := segarray.Plan(sp, params, rows)
+			spec.Src = func(i int64) phys.Addr { return srcL.Segs[i].Start }
+			spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
+			spec.Sched = omp.StaticChunk{Size: 1}
+		} else {
+			spec.Src = jacobi.PlainRows(sp.Malloc(*n**n*phys.WordSize), *n)
+			spec.Dst = jacobi.PlainRows(sp.Malloc(*n**n*phys.WordSize), *n)
+		}
+		prog = spec.Program(*threads)
+	case "lbm":
+		var layout lbm.Layout
+		switch *layoutName {
+		case "IJKv":
+			layout = lbm.IJKv
+		case "IvJK":
+			layout = lbm.IvJK
+		default:
+			fail("unknown layout %q", *layoutName)
+		}
+		spec := lbm.TraceSpec{
+			N: *n, Layout: layout,
+			OldBase:  sp.Malloc(lbm.GridBytes(*n, layout)),
+			NewBase:  sp.Malloc(lbm.GridBytes(*n, layout)),
+			MaskBase: sp.Malloc(lbm.MaskBytes(*n)),
+			Fused:    *fused, Sched: schedule, Sweeps: *sweeps,
+		}
+		prog = spec.Program(*threads)
+	default:
+		fail("unknown kernel %q", *kernel)
+	}
+
+	prog.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+	m := chip.New(cfg)
+	r := m.Run(prog)
+
+	fmt.Printf("program:   %s\n", r.Label)
+	fmt.Printf("cycles:    %d (%.3f ms at %.1f GHz)\n", r.Cycles, r.Seconds*1e3, cfg.ClockHz/1e9)
+	fmt.Printf("reported:  %8.2f GB/s\n", r.GBps)
+	fmt.Printf("actual:    %8.2f GB/s (incl. RFO and writebacks)\n", r.ActualGBps)
+	fmt.Printf("updates:   %8.2f MUP/s (%d units)\n", r.MUPs, r.Units)
+	fmt.Printf("l2:        %.1f%% hits, %d writebacks\n", r.L2.HitRate()*100, r.L2.Writebacks)
+	fmt.Printf("mc util:  ")
+	var sum float64
+	for _, u := range r.MCUtil {
+		fmt.Printf(" %5.2f", u)
+		sum += u
+	}
+	fmt.Printf("  (sum %.2f of %d)\n", sum, len(r.MCUtil))
+	tot := float64(r.Cycles) * float64(r.Threads)
+	fmt.Printf("breakdown: load %.1f%%  store %.1f%%  compute %.1f%%  retry %.1f%%\n",
+		100*float64(r.LoadStall)/tot, 100*float64(r.StoreStall)/tot,
+		100*float64(r.ComputeStall)/tot, 100*float64(r.RetryStall)/tot)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "t2sim: "+format+"\n", args...)
+	os.Exit(2)
+}

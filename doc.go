@@ -1,0 +1,13 @@
+// Package repro reproduces "Data Access Optimizations for Highly Threaded
+// Multi-Core CPUs with Multiple Memory Controllers" (Hager, Zeiser,
+// Wellein; arXiv:0712.2302, 2008) as a Go library: a cycle-approximate
+// simulator of the Sun UltraSPARC T2 memory subsystem plus the paper's
+// data-placement toolkit (segmented arrays, the alignment/offset planner,
+// OpenMP-style scheduling) and harnesses that regenerate every figure of
+// the paper's evaluation.
+//
+// The implementation lives under internal/; entry points are the binaries
+// in cmd/ (t2sim, figures, placement), the runnable examples under
+// examples/, and the benchmarks in bench_test.go. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

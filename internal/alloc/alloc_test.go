@@ -1,0 +1,126 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+)
+
+func TestMallocHeaderGap(t *testing.T) {
+	sp := NewSpace()
+	a := sp.Malloc(1000)
+	b := sp.Malloc(1000)
+	if b <= a+1000 {
+		t.Errorf("second block %#x overlaps or abuts first %#x (no header gap)", b, a)
+	}
+	if !phys.IsAligned(a, MallocAlign) || !phys.IsAligned(b, MallocAlign) {
+		t.Error("malloc results not 16-byte aligned")
+	}
+}
+
+func TestMallocBaseDependsOnSize(t *testing.T) {
+	// The "plain" placement of Fig. 4: relative offsets between arrays
+	// vary with N, producing the erratic bandwidth curve.
+	gaps := map[phys.Addr]bool{}
+	for n := int64(65536); n < 65536+64; n++ {
+		sp := NewSpace()
+		a := sp.Malloc(n * 8)
+		b := sp.Malloc(n * 8)
+		gaps[(b-a)%512] = true
+	}
+	if len(gaps) < 16 {
+		t.Errorf("only %d distinct controller phases over 64 sizes; plain placement should be erratic", len(gaps))
+	}
+}
+
+func TestMemalign(t *testing.T) {
+	sp := NewSpace()
+	sp.Malloc(12345) // disturb the break
+	p := sp.Memalign(8192, 100)
+	if !phys.IsAligned(p, 8192) {
+		t.Errorf("memalign returned %#x, not page aligned", p)
+	}
+}
+
+func TestMemalignProperty(t *testing.T) {
+	f := func(sizes []uint16, e uint8) bool {
+		align := int64(64) << (e % 8)
+		sp := NewSpace()
+		var last phys.Addr
+		for _, s := range sizes {
+			p := sp.Memalign(align, int64(s))
+			if !phys.IsAligned(p, align) || p < last {
+				return false
+			}
+			last = p + phys.Addr(s)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonLayout(t *testing.T) {
+	// The Fortran COMMON block: arrays ndim elements apart, page-aligned
+	// base. With offset=0 and power-of-two N all bases are congruent mod
+	// 512; with offset=13 they are skewed.
+	sp := NewSpace()
+	n := int64(1 << 18)
+	bases := sp.Common(3, n, 8)
+	if !phys.IsAligned(bases[0], phys.PageSize) {
+		t.Error("COMMON base not page aligned")
+	}
+	for i := 1; i < 3; i++ {
+		if bases[i]-bases[i-1] != phys.Addr(n*8) {
+			t.Errorf("array gap %d, want %d", bases[i]-bases[i-1], n*8)
+		}
+	}
+	if bases[1]%512 != bases[0]%512 {
+		t.Error("zero-offset COMMON arrays not congruent mod 512")
+	}
+
+	sp2 := NewSpace()
+	skew := sp2.Common(3, n+13, 8)
+	if skew[1]%512 == skew[0]%512 {
+		t.Error("offset-13 COMMON arrays still congruent mod 512")
+	}
+}
+
+func TestOffsetBases(t *testing.T) {
+	sp := NewSpace()
+	bases := sp.OffsetBases(4, 4096, phys.PageSize, 128)
+	for i, b := range bases {
+		if (b-bases[0])%512 != phys.Addr(i*128)%512 {
+			t.Errorf("array %d phase %d, want %d", i, (b-bases[0])%512, i*128%512)
+		}
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		sp := NewSpace()
+		type blk struct{ lo, hi phys.Addr }
+		var blocks []blk
+		for i, o := range ops {
+			size := int64(o%4096) + 1
+			var p phys.Addr
+			if i%2 == 0 {
+				p = sp.Malloc(size)
+			} else {
+				p = sp.Memalign(512, size)
+			}
+			blocks = append(blocks, blk{p, p + phys.Addr(size)})
+		}
+		for i := 1; i < len(blocks); i++ {
+			if blocks[i].lo < blocks[i-1].hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,373 @@
+// Package bench contains the experiment harnesses that regenerate every
+// figure of the paper's evaluation (Figs. 2, 4, 5, 6, 7) on the simulated
+// T2, plus shape checks that encode the paper's qualitative claims — who
+// wins, by what factor, with which periodicity — as testable predicates.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/kernels"
+	"repro/internal/lbm"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options scales the experiments. Paper-scale array lengths are structure-
+// preserving reductions of the originals (see DESIGN.md Sect. 5); Small()
+// shrinks them further for unit tests.
+type Options struct {
+	Cfg chip.Config
+
+	// Fig. 2
+	StreamN      int64
+	OffsetMax    int64
+	OffsetStep   int64
+	Fig2Threads  []int
+	StreamSweeps int
+
+	// Fig. 4
+	TriadN    int64 // window base
+	TriadLen  int64 // window length in elements
+	TriadStep int64
+
+	// Fig. 5
+	Fig5Ns []int64
+
+	// Fig. 6
+	JacobiNs      []int64
+	JacobiThreads []int
+	JacobiSweeps  int
+
+	// Fig. 7
+	LBMNs     []int64
+	LBMSweeps int
+}
+
+// Default returns the full-scale reproduction settings. Sizes are
+// structure-preserving reductions of the paper's (STREAM N=2^18 instead of
+// 2^25, offset step 2 instead of 1): every congruence mod 512 bytes, every
+// cache-pressure ratio and every chunk-geometry property is identical, and
+// a complete regeneration of all five figures takes minutes instead of
+// hours.
+func Default() Options {
+	return Options{
+		Cfg:          chip.Default(),
+		StreamN:      1 << 18,
+		OffsetMax:    256,
+		OffsetStep:   2,
+		Fig2Threads:  []int{8, 16, 32, 64},
+		StreamSweeps: 1,
+
+		TriadN:    1 << 19,
+		TriadLen:  128,
+		TriadStep: 2,
+
+		Fig5Ns: []int64{128, 512, 2048, 8192, 1 << 15, 1 << 17, 1 << 19, 1 << 21},
+
+		JacobiNs:      []int64{200, 400, 600, 800, 1000, 1200, 1216, 1280, 1600, 2000},
+		JacobiThreads: []int{8, 16, 32, 64},
+		JacobiSweeps:  1,
+
+		LBMNs:     []int64{64, 72, 96, 126, 128, 160, 192},
+		LBMSweeps: 1,
+	}
+}
+
+// Small returns unit-test-scale settings that keep every structural
+// property (congruences mod 512 B, cache pressure ratios).
+func Small() Options {
+	o := Default()
+	o.StreamN = 1 << 15
+	o.OffsetStep = 8
+	o.Fig2Threads = []int{16, 64}
+	o.TriadN = 1 << 16
+	o.TriadLen = 128
+	o.TriadStep = 4
+	o.Fig5Ns = []int64{128, 2048, 1 << 15, 1 << 17}
+	o.JacobiNs = []int64{128, 192, 256, 320}
+	o.JacobiThreads = []int{8, 64}
+	o.JacobiSweeps = 1
+	o.LBMNs = []int64{48, 62, 64, 72}
+	return o
+}
+
+func (o Options) warmLines() int64 { return o.Cfg.L2.SizeBytes / phys.LineSize }
+
+// ---- Fig. 2: STREAM vs COMMON-block offset ---------------------------------
+
+// Fig2Result bundles the lower (triad) and upper (copy) panels.
+type Fig2Result struct {
+	Triad []stats.Series // one per thread count
+	Copy  stats.Series   // 64 threads
+}
+
+// Fig2 regenerates Fig. 2: STREAM triad bandwidth versus array offset for
+// several thread counts, and copy bandwidth at 64 threads.
+func Fig2(o Options) Fig2Result {
+	m := chip.New(o.Cfg)
+	var res Fig2Result
+	for _, th := range o.Fig2Threads {
+		s := stats.Series{Name: fmt.Sprintf("triad/%dT", th)}
+		for off := int64(0); off <= o.OffsetMax; off += o.OffsetStep {
+			r := m.Run(o.streamProg(kernelTriad, off, th))
+			s.Add(float64(off), r.GBps)
+		}
+		res.Triad = append(res.Triad, s)
+	}
+	res.Copy = stats.Series{Name: "copy/64T"}
+	for off := int64(0); off <= o.OffsetMax; off += o.OffsetStep {
+		r := m.Run(o.streamProg(kernelCopy, off, 64))
+		res.Copy.Add(float64(off), r.GBps)
+	}
+	return res
+}
+
+type streamKind int
+
+const (
+	kernelCopy streamKind = iota
+	kernelTriad
+)
+
+func (o Options) streamProg(kind streamKind, offsetWords int64, threads int) *trace.Program {
+	sp := alloc.NewSpace()
+	bases := sp.Common(3, o.StreamN+offsetWords, phys.WordSize)
+	var k kernels.Stream
+	switch kind {
+	case kernelCopy:
+		k = kernels.StreamCopy(bases[2], bases[0], o.StreamN)
+	case kernelTriad:
+		k = kernels.StreamTriad(bases[0], bases[1], bases[2], o.StreamN)
+	}
+	k.Sweeps = o.StreamSweeps
+	p := k.Program(omp.StaticBlock{}, threads)
+	p.WarmLines = o.warmLines()
+	return p
+}
+
+// ---- Fig. 4: vector triad vs N under placement policies --------------------
+
+// segTriadLayouts places the four vector-triad arrays as segmented arrays
+// with one page-aligned segment per thread (the paper's framework of
+// Sect. 2.2); array i is displaced by i*offset bytes.
+func segTriadLayouts(sp *alloc.Space, n int64, threads int, offset int64) [4]*segarray.Layout {
+	segLens := segarray.EqualSegments(n, threads)
+	var out [4]*segarray.Layout
+	for i := range out {
+		l := segarray.Plan(sp, segarray.Params{
+			ElemSize: phys.WordSize,
+			Align:    phys.PageSize,
+			SegAlign: phys.PageSize,
+			Offset:   int64(i) * offset,
+		}, segLens)
+		out[i] = &l
+	}
+	return out
+}
+
+// Fig4 regenerates Fig. 4: vector triad bandwidth versus array length for
+// plain malloc placement, 8 kB alignment of every thread's segment, and
+// the same alignment with per-array byte offsets of 32, 64 and 128 (arrays
+// B, C, D shifted by one, two and three times the offset).
+func Fig4(o Options) []stats.Series {
+	m := chip.New(o.Cfg)
+	const threads = 64
+	offsets := []struct {
+		name string
+		off  int64
+	}{
+		{"align8k", 0},
+		{"align8k+32", 32},
+		{"align8k+64", 64},
+		{"align8k+128", 128},
+	}
+	out := make([]stats.Series, 0, len(offsets)+1)
+
+	plain := stats.Series{Name: "plain"}
+	for n := o.TriadN; n < o.TriadN+o.TriadLen; n += o.TriadStep {
+		sp := alloc.NewSpace()
+		bases := make([]phys.Addr, 4)
+		for i := range bases {
+			bases[i] = sp.Malloc(n * phys.WordSize)
+		}
+		// a = b + c*d: a is written, b, c, d are read.
+		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], n)
+		p := k.Program(omp.StaticBlock{}, threads)
+		p.WarmLines = o.warmLines()
+		plain.Add(float64(n), m.Run(p).GBps)
+	}
+	out = append(out, plain)
+
+	for _, v := range offsets {
+		s := stats.Series{Name: v.name}
+		for n := o.TriadN; n < o.TriadN+o.TriadLen; n += o.TriadStep {
+			sp := alloc.NewSpace()
+			ls := segTriadLayouts(sp, n, threads, v.off)
+			k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
+			p := k.Program(threads)
+			p.WarmLines = o.warmLines()
+			s.Add(float64(n), m.Run(p).GBps)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- Fig. 5: segmented iterators vs plain loops -----------------------------
+
+// Fig5 regenerates Fig. 5: vector triad bandwidth versus N for the
+// segmented implementation with optimal alignment (per-thread segments,
+// manual floor/ceil scheduling, per-segment loop setup overhead) against
+// the plain OpenMP version.
+func Fig5(o Options, threads int) []stats.Series {
+	m := chip.New(o.Cfg)
+	seg := stats.Series{Name: fmt.Sprintf("%dT segmented optimal", threads)}
+	plain := stats.Series{Name: fmt.Sprintf("%dT non-segmented", threads)}
+	plan := core.PlanArrayOffsets(core.T2Spec(), 4)
+	for _, n := range o.Fig5Ns {
+		// Segmented: each array is a seg_array with one segment per thread
+		// and planned offsets; the per-segment dispatch costs extra
+		// integer work at every segment entry.
+		sp := alloc.NewSpace()
+		segLens := segarray.EqualSegments(n, threads)
+		var ls [4]*segarray.Layout
+		for i := range ls {
+			l := segarray.Plan(sp, segarray.Params{
+				ElemSize: phys.WordSize,
+				Align:    phys.PageSize,
+				SegAlign: phys.PageSize,
+				Offset:   plan.Offsets[i],
+			}, segLens)
+			ls[i] = &l
+		}
+		k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
+		k.SegOverhead = 30
+		p := k.Program(threads)
+		p.WarmLines = o.warmLines()
+		r := m.Run(p)
+		seg.Add(float64(n), r.GBps)
+
+		// Plain: contiguous arrays, plain parallel loop. Offsets are kept
+		// optimal here too — Fig. 5 isolates iterator overhead, not
+		// aliasing.
+		sp2 := alloc.NewSpace()
+		bases2 := sp2.OffsetBases(4, n*phys.WordSize, phys.PageSize, 128)
+		k2 := kernels.VTriad(bases2[0], bases2[1], bases2[2], bases2[3], n)
+		p2 := k2.Program(omp.StaticBlock{}, threads)
+		p2.WarmLines = o.warmLines()
+		r2 := m.Run(p2)
+		plain.Add(float64(n), r2.GBps)
+	}
+	return []stats.Series{seg, plain}
+}
+
+// ---- Fig. 6: 2D Jacobi ------------------------------------------------------
+
+// Fig6 regenerates Fig. 6: Jacobi MLUPs/s versus problem size for the
+// optimally aligned segmented solver at several thread counts, plus the
+// plain (unaligned) 64-thread reference.
+func Fig6(o Options) []stats.Series {
+	m := chip.New(o.Cfg)
+	rp := core.PlanRows(core.T2Spec())
+	var out []stats.Series
+
+	plain := stats.Series{Name: "64T plain"}
+	for _, n := range o.JacobiNs {
+		sp := alloc.NewSpace()
+		src := sp.Malloc(n * n * phys.WordSize)
+		dst := sp.Malloc(n * n * phys.WordSize)
+		spec := jacobi.Spec{
+			N:      n,
+			Src:    jacobi.PlainRows(src, n),
+			Dst:    jacobi.PlainRows(dst, n),
+			Sched:  omp.StaticChunk{Size: 1},
+			Sweeps: o.JacobiSweeps,
+		}
+		p := spec.Program(64)
+		p.WarmLines = o.warmLines()
+		r := m.Run(p)
+		plain.Add(float64(n), r.MUPs)
+	}
+	out = append(out, plain)
+
+	for _, th := range o.JacobiThreads {
+		s := stats.Series{Name: fmt.Sprintf("%dT", th)}
+		for _, n := range o.JacobiNs {
+			sp := alloc.NewSpace()
+			params := segarray.Params{
+				ElemSize: phys.WordSize,
+				Align:    phys.PageSize,
+				SegAlign: rp.SegAlign,
+				Shift:    rp.Shift,
+			}
+			rows := make([]int64, n)
+			for i := range rows {
+				rows[i] = n
+			}
+			srcL := segarray.Plan(sp, params, rows)
+			dstL := segarray.Plan(sp, params, rows)
+			spec := jacobi.Spec{
+				N:      n,
+				Src:    func(i int64) phys.Addr { return srcL.Segs[i].Start },
+				Dst:    func(i int64) phys.Addr { return dstL.Segs[i].Start },
+				Sched:  omp.StaticChunk{Size: 1},
+				Sweeps: o.JacobiSweeps,
+			}
+			p := spec.Program(th)
+			p.WarmLines = o.warmLines()
+			r := m.Run(p)
+			s.Add(float64(n), r.MUPs)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- Fig. 7: lattice-Boltzmann ----------------------------------------------
+
+// Fig7 regenerates Fig. 7: LBM MLUPs/s versus cubic domain size for the
+// IJKv and IvJK layouts at 64 threads, the fused-loop IvJK variant, and
+// the fused variant at 32 threads.
+func Fig7(o Options) []stats.Series {
+	m := chip.New(o.Cfg)
+	type variant struct {
+		name    string
+		layout  lbm.Layout
+		fused   bool
+		threads int
+	}
+	variants := []variant{
+		{"64T IJKv", lbm.IJKv, false, 64},
+		{"64T IvJK", lbm.IvJK, false, 64},
+		{"64T IvJK fused", lbm.IvJK, true, 64},
+		{"32T IvJK fused", lbm.IvJK, true, 32},
+	}
+	out := make([]stats.Series, len(variants))
+	for vi, v := range variants {
+		out[vi].Name = v.name
+		for _, n := range o.LBMNs {
+			sp := alloc.NewSpace()
+			oldB := sp.Malloc(lbm.GridBytes(n, v.layout))
+			newB := sp.Malloc(lbm.GridBytes(n, v.layout))
+			mask := sp.Malloc(lbm.MaskBytes(n))
+			spec := lbm.TraceSpec{
+				N: n, Layout: v.layout,
+				OldBase: oldB, NewBase: newB, MaskBase: mask,
+				Fused: v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
+			}
+			p := spec.Program(v.threads)
+			p.WarmLines = o.warmLines()
+			r := m.Run(p)
+			out[vi].Add(float64(n), r.MUPs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestFig2Shape regenerates Fig. 2 at test scale and validates the paper's
+// qualitative claims for it.
+func TestFig2Shape(t *testing.T) {
+	o := Small()
+	r := Fig2(o)
+	for _, s := range r.Triad {
+		t.Logf("%s: %v", s.Name, s.Y)
+	}
+	t.Logf("%s: %v", r.Copy.Name, r.Copy.Y)
+	if err := CheckFig2(r, o.OffsetStep); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig4Shape regenerates Fig. 4 at test scale and validates it.
+func TestFig4Shape(t *testing.T) {
+	o := Small()
+	series := Fig4(o)
+	for _, s := range series {
+		sm := stats.Summarize(s.Y)
+		t.Logf("%-12s min %.2f max %.2f mean %.2f", s.Name, sm.Min, sm.Max, sm.Mean)
+	}
+	if err := CheckFig4(series); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig5Shape regenerates Fig. 5 at test scale and validates it.
+func TestFig5Shape(t *testing.T) {
+	o := Small()
+	series := Fig5(o, 64)
+	for _, s := range series {
+		t.Logf("%s: %v", s.Name, s.Y)
+	}
+	if err := CheckFig5(series); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig6Shape regenerates Fig. 6 at test scale and validates it.
+func TestFig6Shape(t *testing.T) {
+	o := Small()
+	series := Fig6(o)
+	for _, s := range series {
+		t.Logf("%s: %v", s.Name, s.Y)
+	}
+	if err := CheckFig6(series); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig7Shape regenerates Fig. 7 at test scale and validates it.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LBM shape test is slow")
+	}
+	o := Small()
+	series := Fig7(o)
+	for _, s := range series {
+		t.Logf("%s: %v", s.Name, s.Y)
+	}
+	if err := CheckFig7(series); err != nil {
+		t.Error(err)
+	}
+	stats.Plot(os.Stderr, "fig7 (test scale)", series, 60, 12)
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// CheckFig2 verifies the qualitative claims of Fig. 2 on regenerated data:
+// (1) bandwidth is periodic in the offset with period 64 words for the
+// high thread counts; (2) the zero-offset value sits far below the best;
+// (3) offsets at odd multiples of 32 recover part of the loss; (4) the
+// copy ceiling is below the triad ceiling ("significantly lower STREAM
+// copy performance").
+func CheckFig2(r Fig2Result, offsetStep int64) error {
+	if len(r.Triad) == 0 {
+		return fmt.Errorf("fig2: no triad series")
+	}
+	hi := r.Triad[len(r.Triad)-1] // highest thread count
+	if hi.Len() < 3 {
+		return fmt.Errorf("fig2: series %q too short", hi.Name)
+	}
+	sum := stats.Summarize(hi.Y)
+	if per := int(64 / offsetStep); per >= 1 && hi.Len() > 2*per {
+		if p := stats.Periodicity(hi.Y, per); p < 0.5 {
+			return fmt.Errorf("fig2: periodicity-64 score %.2f < 0.5 for %q", p, hi.Name)
+		}
+	}
+	if hi.Y[0] > 0.55*sum.Max {
+		return fmt.Errorf("fig2: zero-offset bandwidth %.2f not far below max %.2f", hi.Y[0], sum.Max)
+	}
+	// Odd multiple of 32: improvement over offset zero.
+	for i, x := range hi.X {
+		if int64(x) == 32 {
+			ratio := hi.Y[i] / hi.Y[0]
+			if ratio < 1.25 || ratio > 3.0 {
+				return fmt.Errorf("fig2: offset-32/offset-0 ratio %.2f outside [1.25, 3] (paper ~2x expected)", ratio)
+			}
+		}
+	}
+	if r.Copy.Len() > 0 {
+		cmax := stats.Summarize(r.Copy.Y).Max
+		if cmax >= sum.Max {
+			return fmt.Errorf("fig2: copy ceiling %.2f not below triad ceiling %.2f", cmax, sum.Max)
+		}
+	}
+	return nil
+}
+
+// CheckFig4 verifies Fig. 4: the plain placement is erratic between hard
+// limits, page alignment is the uniform worst case, and the 128-byte
+// offset variant is flat at the top.
+func CheckFig4(series []stats.Series) error {
+	byName := map[string]stats.Summary{}
+	byVar := map[string]float64{}
+	for _, s := range series {
+		byName[s.Name] = stats.Summarize(s.Y)
+		byVar[s.Name] = stats.RelVariation(s.Y)
+	}
+	plain, ok1 := byName["plain"]
+	worst, ok2 := byName["align8k"]
+	best, ok3 := byName["align8k+128"]
+	if !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("fig4: missing series")
+	}
+	if worst.Mean > 0.6*best.Mean {
+		return fmt.Errorf("fig4: page-aligned mean %.2f not far below offset-128 mean %.2f", worst.Mean, best.Mean)
+	}
+	if best.Min < plain.Min {
+		return fmt.Errorf("fig4: offset-128 min %.2f below plain min %.2f — optimum should remove breakdowns", best.Min, plain.Min)
+	}
+	if byVar["align8k+128"] > 0.25 {
+		return fmt.Errorf("fig4: offset-128 variation %.2f not flat", byVar["align8k+128"])
+	}
+	if byVar["plain"] < 2*byVar["align8k+128"] {
+		return fmt.Errorf("fig4: plain variation %.2f not clearly more erratic than optimum %.2f",
+			byVar["plain"], byVar["align8k+128"])
+	}
+	return nil
+}
+
+// CheckFig5 verifies Fig. 5: the segmented implementation tracks the plain
+// one within a few percent at large N ("the performance overhead incurred
+// by segmented iterators is negligible even for tight loops").
+func CheckFig5(series []stats.Series) error {
+	if len(series) != 2 {
+		return fmt.Errorf("fig5: want 2 series, got %d", len(series))
+	}
+	seg, plain := series[0], series[1]
+	n := seg.Len()
+	if n == 0 || plain.Len() != n {
+		return fmt.Errorf("fig5: mismatched series")
+	}
+	// Compare at the largest N.
+	s, p := seg.Y[n-1], plain.Y[n-1]
+	if p <= 0 {
+		return fmt.Errorf("fig5: zero plain bandwidth")
+	}
+	if d := (p - s) / p; d > 0.08 {
+		return fmt.Errorf("fig5: segmented overhead %.1f%% at large N exceeds 8%%", d*100)
+	}
+	return nil
+}
+
+// CheckFig6 verifies Fig. 6: optimized placement beats plain by a wide
+// margin at 64 threads, performance scales with thread count, and the
+// optimized curves are much smoother than the plain one.
+func CheckFig6(series []stats.Series) error {
+	find := func(name string) (stats.Series, bool) {
+		for _, s := range series {
+			if s.Name == name {
+				return s, true
+			}
+		}
+		return stats.Series{}, false
+	}
+	plain, ok := find("64T plain")
+	if !ok {
+		return fmt.Errorf("fig6: missing plain series")
+	}
+	opt, ok := find("64T")
+	if !ok {
+		return fmt.Errorf("fig6: missing 64T series")
+	}
+	pm := stats.Summarize(plain.Y).Mean
+	om := stats.Summarize(opt.Y).Mean
+	if om < 1.3*pm {
+		return fmt.Errorf("fig6: optimized mean %.0f MLUPs not well above plain %.0f", om, pm)
+	}
+	if t8, ok := find("8T"); ok {
+		if m8 := stats.Summarize(t8.Y).Mean; m8 > 0.75*om {
+			return fmt.Errorf("fig6: 8T mean %.0f too close to 64T mean %.0f — no scaling", m8, om)
+		}
+	}
+	return nil
+}
+
+// CheckFig7 verifies the Fig. 7 claims the simulator reproduces (see
+// EXPERIMENTS.md for the one it does not — the across-the-board IJKv
+// deficit, which stems from controller-internal DRAM row scheduling
+// outside this model):
+//
+//  1. cache thrashing is ruinous when the padded edge N+2 is a multiple
+//     of 64 — both layouts dip hard at such sizes;
+//  2. coalescing the outer loop pair removes the modulo sawtooth: at
+//     domain sizes where N is just above a multiple of the thread count,
+//     the fused variant clearly beats the unfused one;
+//  3. 32 threads trail 64 threads for this low-balance kernel.
+func CheckFig7(series []stats.Series) error {
+	find := func(name string) (stats.Series, bool) {
+		for _, s := range series {
+			if s.Name == name {
+				return s, true
+			}
+		}
+		return stats.Series{}, false
+	}
+	ijkv, ok1 := find("64T IJKv")
+	ivjk, ok2 := find("64T IvJK")
+	fused, ok3 := find("64T IvJK fused")
+	t32, ok4 := find("32T IvJK fused")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("fig7: missing series")
+	}
+
+	// Thrash dips at N+2 = 0 mod 64.
+	med := stats.Summarize(ijkv.Y).Median
+	foundThrash := false
+	for i, x := range ijkv.X {
+		if (int64(x)+2)%64 == 0 {
+			foundThrash = true
+			if ijkv.Y[i] > 0.6*med {
+				return fmt.Errorf("fig7: no thrash dip at N=%d for IJKv (%.1f vs median %.1f)", int64(x), ijkv.Y[i], med)
+			}
+		}
+	}
+	if !foundThrash {
+		return fmt.Errorf("fig7: sweep contains no thrash size (N+2 multiple of 64)")
+	}
+
+	// Modulo sawtooth: where N mod 64 is small but nonzero, fusion wins.
+	for i, x := range ivjk.X {
+		n := int64(x)
+		if n > 64 && n%64 != 0 && n%64 <= 16 {
+			if fused.Y[i] < 1.05*ivjk.Y[i] {
+				return fmt.Errorf("fig7: fusion does not remove the modulo dip at N=%d (%.1f vs %.1f)",
+					n, fused.Y[i], ivjk.Y[i])
+			}
+		}
+	}
+
+	if stats.Summarize(t32.Y).Mean >= stats.Summarize(fused.Y).Mean {
+		return fmt.Errorf("fig7: 32T not below 64T")
+	}
+	return nil
+}

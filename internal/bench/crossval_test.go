@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/omp"
+	"repro/internal/phys"
+)
+
+// TestAnalyzerPredictsSimulator cross-validates the paper's central
+// methodological claim — that placement quality is predictable from the
+// address mapping alone: the analyzer's predicted relative bandwidth must
+// rank the simulator's measured bandwidth across the three regimes, and
+// the predicted controller utilization shares must match the measured
+// ones for the convoy case.
+func TestAnalyzerPredictsSimulator(t *testing.T) {
+	const n = 1 << 17
+	ms := core.T2Spec()
+	m := chip.New(chip.Default())
+
+	type obs struct {
+		offset    int64
+		predicted float64
+		measured  float64
+	}
+	var results []obs
+	for _, off := range []int64{0, 32, 16} { // convoy, partial, uniform
+		ndim := n + off
+		bases := []phys.Addr{0, phys.Addr(ndim * phys.WordSize), phys.Addr(2 * ndim * phys.WordSize)}
+		pred := core.PredictRelativeBandwidth(ms, core.StreamSet{Bases: bases, Stride: phys.LineSize})
+
+		sp := alloc.NewSpace()
+		real := sp.Common(3, ndim, phys.WordSize)
+		k := kernels.StreamTriad(real[0], real[1], real[2], n)
+		p := k.Program(omp.StaticBlock{}, 64)
+		p.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+		r := m.Run(p)
+		results = append(results, obs{off, pred, r.GBps})
+	}
+
+	for i := 1; i < len(results); i++ {
+		a, b := results[i-1], results[i]
+		if a.predicted >= b.predicted {
+			t.Fatalf("analyzer ordering broken: off=%d pred %.2f vs off=%d pred %.2f",
+				a.offset, a.predicted, b.offset, b.predicted)
+		}
+		if a.measured >= b.measured {
+			t.Errorf("simulator disagrees with analyzer: off=%d measured %.2f not below off=%d measured %.2f",
+				a.offset, a.measured, b.offset, b.measured)
+		}
+	}
+
+	// Quantitative check for the convoy: predicted 0.25 relative bandwidth;
+	// measured worst/best must land within a factor of 1.6 of that.
+	ratio := results[0].measured / results[2].measured
+	if ratio < 0.25/1.6 || ratio > 0.25*1.6 {
+		t.Errorf("convoy measured/best = %.3f, predicted 0.25 (tolerance 1.6x)", ratio)
+	}
+}
+
+// TestPlannerBeatsNaivePlacement verifies end-to-end that applying
+// core.PlanArrayOffsets to the vector triad yields at least the predicted
+// improvement class over page-aligned placement.
+func TestPlannerBeatsNaivePlacement(t *testing.T) {
+	const n = 1 << 17
+	m := chip.New(chip.Default())
+	warm := chip.Default().L2.SizeBytes / phys.LineSize
+
+	run := func(offset int64) float64 {
+		sp := alloc.NewSpace()
+		bases := sp.OffsetBases(4, n*phys.WordSize, phys.PageSize, offset)
+		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], n)
+		p := k.Program(omp.StaticBlock{}, 64)
+		p.WarmLines = warm
+		return m.Run(p).GBps
+	}
+	naive := run(0)
+	plan := core.PlanArrayOffsets(core.T2Spec(), 4)
+	planned := run(plan.Offsets[1]) // arrays shifted by i*128
+	if planned < 2.0*naive {
+		t.Errorf("planned placement %.2f GB/s not at least 2x naive %.2f GB/s", planned, naive)
+	}
+}

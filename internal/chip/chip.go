@@ -1,0 +1,497 @@
+// Package chip assembles the substrates into a cycle-approximate
+// UltraSPARC T2 machine model and runs kernel programs on it.
+//
+// Execution model: every simulated software thread is pinned to one
+// hardware strand (distributed equidistantly across the eight cores, as in
+// the paper's measurements). A strand repeatedly pulls a work item from its
+// trace generator, performs the item's line accesses through crossbar,
+// banked L2 and memory controllers, then charges the item's instruction
+// demand to the core's shared pipelines, and reschedules itself.
+//
+//   - Loads stall the strand until the data returns, and a strand has a
+//     single outstanding miss (the T2 property that makes many threads per
+//     core mandatory).
+//   - Stores are posted: the strand deposits them in a store buffer of
+//     depth StoreBuffer and proceeds; the L2 performs the read-for-
+//     ownership fill asynchronously, consuming controller read bandwidth.
+//     A full store buffer stalls the strand until the oldest fill lands.
+//   - Dirty evictions become posted writebacks on the controllers'
+//     southbound channels.
+//
+// Aliasing convoys, latency hiding, capacity misses and the bidirectional-
+// transfer overhead all emerge from this loop; nothing is special-cased
+// per benchmark.
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config is the full machine description.
+type Config struct {
+	Cores          int
+	StrandsPerCore int
+	GroupsPerCore  int
+	ClockHz        float64
+	XbarLatency    int64 // crossbar traversal, each direction
+	L2HitLatency   int64 // load-to-use latency of an L2 hit
+	L2BankService  int64 // bank occupancy per access
+	L2             cache.Config
+	Mem            mem.Config
+	Mapping        phys.Mapping
+	MSHRPerStrand  int   // outstanding load misses per strand; the T2 has 1
+	StoreBuffer    int   // posted stores in flight per strand; the T2 has 8
+	RetryDelay     int64 // crossbar NACK-and-retry round trip when an MC queue is full
+	// RunAhead bounds how many work items any strand may lead the slowest
+	// active strand by. It models the phase coherence of real T2 strands —
+	// cycle-by-cycle round-robin issue within a thread group plus finite
+	// per-bank miss resources keep concurrent loop iterations tightly
+	// aligned, which is precisely why the paper observes that congruent
+	// streams make "all threads hit exactly one memory controller at a
+	// time" (Sect. 2.1). Setting RunAhead to 0 removes the bound; the
+	// aliasing phenomenon then dissolves (see the run-ahead ablation
+	// benchmark), which demonstrates that phase coherence is a necessary
+	// ingredient of the effect.
+	RunAhead int64
+}
+
+// Default returns the calibrated T2 configuration (see DESIGN.md Sect. 6).
+func Default() Config {
+	return Config{
+		Cores:          8,
+		StrandsPerCore: 8,
+		GroupsPerCore:  2,
+		ClockHz:        1.2e9,
+		XbarLatency:    3,
+		L2HitLatency:   20,
+		L2BankService:  4,
+		L2:             cache.T2L2(),
+		Mem:            mem.T2Defaults(),
+		Mapping:        phys.T2Mapping{},
+		MSHRPerStrand:  1,
+		StoreBuffer:    8,
+		RetryDelay:     24,
+		RunAhead:       2,
+	}
+}
+
+// MaxThreads returns the hardware strand count.
+func (c Config) MaxThreads() int { return c.Cores * c.StrandsPerCore }
+
+// Place returns the (core, group) of software thread t in a team of n,
+// distributing threads equidistantly across cores first, then groups —
+// the placement used for all measurements in the paper.
+func (c Config) Place(t int) (core, group int) {
+	core = t % c.Cores
+	slot := t / c.Cores
+	group = slot % c.GroupsPerCore
+	return core, group
+}
+
+// Result is the outcome of one program run.
+type Result struct {
+	Label   string
+	Threads int
+	Cycles  int64
+	Seconds float64
+
+	Units    int64 // work units (elements, lattice sites)
+	RepBytes int64 // benchmark-reported bytes
+
+	GBps       float64 // reported bandwidth, as the benchmarks print it
+	ActualGBps float64 // true line traffic at the controllers (incl. RFO, writebacks)
+	MUPs       float64 // million work units per second
+
+	L2      cache.Stats
+	MC      []mem.CtlStats
+	MCUtil  []float64 // per-controller busy fraction of the run
+	FPUBusy int64     // summed FPU busy cycles
+
+	// Time breakdown, summed over strands (diagnostics).
+	LoadStall    int64 // cycles strands spent waiting for loads
+	StoreStall   int64 // cycles strands spent blocked on a full store buffer
+	ComputeStall int64 // cycles strands spent in/waiting for pipelines
+	RetryStall   int64 // cycles strands spent retrying NACKed requests
+	Retries      int64 // number of NACK-and-retry round trips
+}
+
+// Balance returns min/max controller utilization, the paper's notion of
+// "uniform utilization of all four memory controllers". 1 is perfectly
+// balanced; values near 0 mean a single controller carried the run.
+func (r Result) Balance() float64 {
+	if len(r.MCUtil) == 0 {
+		return 0
+	}
+	min, max := r.MCUtil[0], r.MCUtil[0]
+	for _, u := range r.MCUtil[1:] {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return min / max
+}
+
+// Machine runs programs on a Config. Machines are stateless between runs;
+// all simulation state is rebuilt per Run, so a Machine may be reused
+// freely (but not concurrently).
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a machine.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 || cfg.StrandsPerCore <= 0 || cfg.GroupsPerCore <= 0 {
+		panic(fmt.Sprintf("chip: invalid topology %+v", cfg))
+	}
+	if cfg.Mapping == nil {
+		panic("chip: nil mapping")
+	}
+	if cfg.MSHRPerStrand <= 0 {
+		panic("chip: MSHRPerStrand must be >= 1")
+	}
+	if cfg.StoreBuffer <= 0 {
+		panic("chip: StoreBuffer must be >= 1")
+	}
+	if cfg.ClockHz <= 0 {
+		panic("chip: ClockHz must be positive")
+	}
+	return &Machine{cfg: cfg}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+type strand struct {
+	id     int
+	gen    trace.Generator
+	core   int
+	group  int
+	item   trace.Item
+	active bool       // item holds unconsumed work
+	accIdx int        // next access within item
+	items  int64      // completed items (run-ahead accounting)
+	parked bool       // blocked on the run-ahead window
+	slots  []sim.Time // MSHR completion times (loads)
+	sb     []sim.Time // store-buffer ring: completion times of posted fills
+	sbPos  int
+}
+
+type runState struct {
+	cfg      Config
+	eng      sim.Engine
+	l2       *cache.Banked
+	mc       *mem.System
+	cores    *cpu.Cores
+	banks    []sim.Cursor
+	units    int64
+	repBytes int64
+	finish   sim.Time
+	running  int
+
+	loadStall    int64
+	storeStall   int64
+	computeStall int64
+	retryStall   int64
+	retries      int64
+
+	// Run-ahead window state.
+	runAhead int64
+	counts   []int64 // items completed per strand; -1 marks retired
+	minItems int64   // min over active strands
+	parked   []*strand
+}
+
+// bumpItems records an item completion and wakes parked strands when the
+// team minimum advances.
+func (rs *runState) bumpItems(s *strand) {
+	old := s.items
+	s.items++
+	rs.counts[s.id] = s.items
+	if rs.runAhead > 0 && old == rs.minItems {
+		rs.recomputeMin()
+	}
+}
+
+// retire removes a finished strand from run-ahead accounting.
+func (rs *runState) retire(s *strand) {
+	rs.counts[s.id] = -1
+	if rs.runAhead > 0 {
+		rs.recomputeMin()
+	}
+}
+
+func (rs *runState) recomputeMin() {
+	min := int64(-1)
+	for _, c := range rs.counts {
+		if c < 0 {
+			continue
+		}
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	if min != rs.minItems {
+		rs.minItems = min
+		rs.wakeParked()
+	}
+}
+
+func (rs *runState) wakeParked() {
+	if len(rs.parked) == 0 {
+		return
+	}
+	ps := rs.parked
+	rs.parked = rs.parked[:0]
+	for _, p := range ps {
+		p.parked = false
+		sp := p
+		rs.eng.At(rs.eng.Now(), func() { rs.step(sp) })
+	}
+}
+
+// overWindow reports whether the strand must park before starting another
+// item because it is too far ahead of the slowest active strand.
+func (rs *runState) overWindow(s *strand) bool {
+	return rs.runAhead > 0 && rs.minItems >= 0 && s.items-rs.minItems >= rs.runAhead
+}
+
+// nackRetry reports whether the access would miss into a full controller
+// queue at time t; if so, the strand must back off and retry.
+func (rs *runState) nackRetry(t sim.Time, addr phys.Addr) bool {
+	line := phys.LineOf(addr)
+	return !rs.l2.Contains(line) && rs.mc.Full(t, line)
+}
+
+// load performs one demand line read beginning at time t and returns the
+// time the data is back at the strand.
+func (rs *runState) load(t sim.Time, addr phys.Addr) sim.Time {
+	line := phys.LineOf(addr)
+	arrive := t + rs.cfg.XbarLatency
+	bank := rs.cfg.Mapping.Bank(line)
+	bankStart, bankDone := rs.banks[bank].Acquire(arrive, rs.cfg.L2BankService)
+	res := rs.l2.Access(line, false)
+	var dataAt sim.Time
+	if res.Hit {
+		dataAt = bankStart + rs.cfg.L2HitLatency
+		if dataAt < bankDone {
+			dataAt = bankDone
+		}
+	} else {
+		dataAt = rs.mc.Read(bankDone, line)
+		if res.VictimDirty {
+			rs.mc.Write(bankDone, res.Victim)
+		}
+	}
+	return dataAt + rs.cfg.XbarLatency
+}
+
+// store posts one line store beginning at time t. The strand only waits
+// for L2 bank occupancy (and, via the caller, for store-buffer space); on a
+// miss the read-for-ownership fill proceeds asynchronously. The returned
+// times are (strand-visible completion, fill completion).
+func (rs *runState) store(t sim.Time, addr phys.Addr) (proceed, fill sim.Time) {
+	line := phys.LineOf(addr)
+	arrive := t + rs.cfg.XbarLatency
+	bank := rs.cfg.Mapping.Bank(line)
+	_, bankDone := rs.banks[bank].Acquire(arrive, rs.cfg.L2BankService)
+	res := rs.l2.Access(line, true)
+	fill = bankDone
+	if !res.Hit {
+		fill = rs.mc.Read(bankDone, line)
+		if res.VictimDirty {
+			rs.mc.Write(bankDone, res.Victim)
+		}
+	}
+	return bankDone, fill
+}
+
+// step advances one strand. It is re-entered by the event engine each time
+// the strand unblocks. All cursor acquisitions happen at (or within a few
+// cycles of) the current event time, which keeps the FCFS cursors exact:
+// every blocking wait — a load miss, a full store buffer, a busy MSHR set —
+// returns to the engine so that other strands' requests interleave in true
+// time order.
+func (rs *runState) step(s *strand) {
+	t := rs.eng.Now()
+	for {
+		if !s.active {
+			if rs.overWindow(s) {
+				s.parked = true
+				rs.parked = append(rs.parked, s)
+				return
+			}
+			s.item.Reset()
+			if !s.gen.Next(&s.item) {
+				rs.running--
+				rs.retire(s)
+				if t > rs.finish {
+					rs.finish = t
+				}
+				return
+			}
+			s.active = true
+			s.accIdx = 0
+		}
+		for s.accIdx < len(s.item.Acc) {
+			a := s.item.Acc[s.accIdx]
+			if rs.nackRetry(t, a.Addr) {
+				rs.retryStall += rs.cfg.RetryDelay
+				rs.retries++
+				rs.eng.At(t+rs.cfg.RetryDelay, func() { rs.step(s) })
+				return
+			}
+			if a.Write {
+				// Store-buffer backpressure: block until the oldest posted
+				// fill lands if all entries are in flight.
+				if oldest := s.sb[s.sbPos]; oldest > t {
+					rs.storeStall += oldest - t
+					rs.eng.At(oldest, func() { rs.step(s) })
+					return
+				}
+				proceed, fill := rs.store(t, a.Addr)
+				s.sb[s.sbPos] = fill
+				s.sbPos = (s.sbPos + 1) % len(s.sb)
+				s.accIdx++
+				t = proceed // bounded lookahead: xbar + bank service
+				continue
+			}
+			if len(s.slots) <= 1 {
+				// Single outstanding miss: block until the data returns.
+				done := rs.load(t, a.Addr)
+				s.accIdx++
+				rs.loadStall += done - t
+				rs.eng.At(done, func() { rs.step(s) })
+				return
+			}
+			// MSHR ablation: issue into a free slot, or block until the
+			// earliest slot frees.
+			best := 0
+			for i := 1; i < len(s.slots); i++ {
+				if s.slots[i] < s.slots[best] {
+					best = i
+				}
+			}
+			if s.slots[best] > t {
+				rs.loadStall += s.slots[best] - t
+				rs.eng.At(s.slots[best], func() { rs.step(s) })
+				return
+			}
+			s.slots[best] = rs.load(t, a.Addr)
+			s.accIdx++
+		}
+		if len(s.slots) > 1 {
+			// Drain outstanding loads before the dependent compute.
+			var max sim.Time
+			for i := range s.slots {
+				if s.slots[i] > max {
+					max = s.slots[i]
+				}
+			}
+			if max > t {
+				rs.loadStall += max - t
+				rs.eng.At(max, func() { rs.step(s) })
+				return
+			}
+		}
+		tc := rs.cores.Compute(t, s.core, s.group, s.item.Demand)
+		rs.computeStall += tc - t
+		rs.units += s.item.Units
+		rs.repBytes += s.item.RepBytes
+		rs.bumpItems(s)
+		s.active = false
+		if tc > t {
+			rs.eng.At(tc, func() { rs.step(s) })
+			return
+		}
+	}
+}
+
+// Run executes prog to completion and reports aggregate performance.
+func (m *Machine) Run(prog *trace.Program) Result {
+	n := len(prog.Gens)
+	if n == 0 {
+		panic("chip: program with no threads")
+	}
+	if n > m.cfg.MaxThreads() {
+		panic(fmt.Sprintf("chip: %d threads exceed %d hardware strands", n, m.cfg.MaxThreads()))
+	}
+	rs := &runState{
+		cfg:      m.cfg,
+		l2:       cache.New(m.cfg.L2, m.cfg.Mapping),
+		mc:       mem.New(m.cfg.Mem, m.cfg.Mapping),
+		cores:    cpu.New(cpu.Config{Cores: m.cfg.Cores, GroupsPerCore: m.cfg.GroupsPerCore, LSUPipes: 2}),
+		banks:    make([]sim.Cursor, m.cfg.Mapping.Banks()),
+		running:  n,
+		runAhead: m.cfg.RunAhead,
+		counts:   make([]int64, n),
+	}
+	// Pre-warm: fill the L2 with dirty lines of an address range no kernel
+	// uses, so the first sweep already evicts and writes back at the
+	// steady-state rate.
+	const warmBase phys.Addr = 1 << 40
+	for i := int64(0); i < prog.WarmLines; i++ {
+		rs.l2.Access(warmBase+phys.Addr(i*phys.LineSize), true)
+	}
+	rs.l2.ResetStats()
+	strands := make([]*strand, n)
+	for t := 0; t < n; t++ {
+		core, group := m.cfg.Place(t)
+		s := &strand{id: t, gen: prog.Gens[t], core: core, group: group,
+			sb: make([]sim.Time, m.cfg.StoreBuffer)}
+		if m.cfg.MSHRPerStrand > 1 {
+			s.slots = make([]sim.Time, m.cfg.MSHRPerStrand)
+		}
+		strands[t] = s
+		rs.eng.At(0, func() { rs.step(s) })
+	}
+	rs.eng.Run()
+	if rs.running != 0 {
+		panic("chip: deadlock — strands left running with no events")
+	}
+
+	cycles := rs.finish
+	if cycles == 0 {
+		cycles = 1
+	}
+	secs := float64(cycles) / m.cfg.ClockHz
+	mcStats := rs.mc.Stats()
+	var lines int64
+	for _, cs := range mcStats {
+		lines += cs.Lines()
+	}
+	res := Result{
+		Label:    prog.Label,
+		Threads:  n,
+		Cycles:   cycles,
+		Seconds:  secs,
+		Units:    rs.units,
+		RepBytes: rs.repBytes,
+		L2:       rs.l2.Stats(),
+		MC:       mcStats,
+		MCUtil:   rs.mc.Utilization(cycles),
+		FPUBusy:  rs.cores.TotalFPUBusy(),
+
+		LoadStall:    rs.loadStall,
+		StoreStall:   rs.storeStall,
+		ComputeStall: rs.computeStall,
+		RetryStall:   rs.retryStall,
+		Retries:      rs.retries,
+	}
+	res.GBps = float64(rs.repBytes) / secs / 1e9
+	res.ActualGBps = float64(lines*m.cfg.L2.LineSize) / secs / 1e9
+	res.MUPs = float64(rs.units) / secs / 1e6
+	return res
+}

@@ -1,0 +1,106 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/trace"
+)
+
+func TestSolver3DConvergesToLinearProfile(t *testing.T) {
+	n := 17
+	a, b := NewGrid3D(n), NewGrid3D(n)
+	a.SetBoundary3D(1, 0)
+	b.SetBoundary3D(1, 0)
+	res := Solve3D(a, b, 1500, 1)
+	if err := res.MaxLinearError3D(1, 0); err > 1e-6 {
+		t.Errorf("3D steady-state error %g", err)
+	}
+}
+
+func TestParallel3DMatchesSerial(t *testing.T) {
+	n := 19
+	mk := func() (*Grid3D, *Grid3D) {
+		a, b := NewGrid3D(n), NewGrid3D(n)
+		a.SetBoundary3D(3, -2)
+		b.SetBoundary3D(3, -2)
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					a.Rows[z][y][x] = float64((z*y*x)%23) / 23
+				}
+			}
+		}
+		return a, b
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+	r1 := Solve3D(a1, b1, 30, 1)
+	r2 := Solve3D(a2, b2, 30, 8)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if r1.Rows[z][y][x] != r2.Rows[z][y][x] {
+					t.Fatalf("parallel 3D differs at (%d,%d,%d)", z, y, x)
+				}
+			}
+		}
+	}
+}
+
+func TestTrace3DUnits(t *testing.T) {
+	n := int64(20)
+	for _, coalesce := range []bool{false, true} {
+		spec := Spec3D{
+			N:        n,
+			Src:      PlainRows3D(0x1000000, n),
+			Dst:      PlainRows3D(0x9000000, n),
+			Sched:    omp.StaticBlock{},
+			Sweeps:   2,
+			Coalesce: coalesce,
+		}
+		p := spec.Program(8)
+		var units int64
+		var it trace.Item
+		for _, g := range p.Gens {
+			for {
+				it.Reset()
+				if !g.Next(&it) {
+					break
+				}
+				units += it.Units
+			}
+		}
+		want := 2 * (n - 2) * (n - 2) * (n - 2)
+		if units != want {
+			t.Errorf("coalesce=%v: %d site updates, want %d", coalesce, units, want)
+		}
+	}
+}
+
+func TestTrace3DReadsSixNeighbourRows(t *testing.T) {
+	n := int64(12)
+	src := PlainRows3D(0x1000000, n)
+	spec := Spec3D{N: n, Src: src, Dst: PlainRows3D(0x9000000, n), Sched: omp.StaticBlock{}}
+	p := spec.Program(1)
+	var it trace.Item
+	if !p.Gens[0].Next(&it) {
+		t.Fatal("no items")
+	}
+	// First item is row (z=1, y=1): the six source rows zlo/zhi/ylo/yhi/
+	// cur (cur spans two lines at most) plus the dst RFO.
+	var reads, writes int
+	for _, a := range it.Acc {
+		if a.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads < 5 || writes < 1 {
+		t.Errorf("first 3D item: %d reads, %d writes", reads, writes)
+	}
+	if it.Demand.MemOps != 7*it.Units || it.Demand.Flops != 6*it.Units {
+		t.Errorf("3D demand %+v for %d sites", it.Demand, it.Units)
+	}
+}

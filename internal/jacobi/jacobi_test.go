@@ -1,0 +1,172 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/trace"
+)
+
+// ---- host solver -------------------------------------------------------------
+
+func TestSolverConvergesToLinearProfile(t *testing.T) {
+	n := 33
+	a, b := NewGrid(n), NewGrid(n)
+	a.SetBoundary(1, 0)
+	b.SetBoundary(1, 0)
+	res := Solve(a, b, 4000, 1)
+	if err := res.MaxLinearError(1, 0); err > 1e-6 {
+		t.Errorf("steady-state error %g after 4000 sweeps", err)
+	}
+}
+
+func TestParallelSolverMatchesSerial(t *testing.T) {
+	n := 41
+	mk := func() (*Grid, *Grid) {
+		a, b := NewGrid(n), NewGrid(n)
+		a.SetBoundary(2, -1)
+		b.SetBoundary(2, -1)
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				a.Rows[i][j] = float64((i*j)%17) / 17
+			}
+		}
+		return a, b
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+	r1 := Solve(a1, b1, 50, 1)
+	r2 := Solve(a2, b2, 50, 8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r1.Rows[i][j] != r2.Rows[i][j] {
+				t.Fatalf("parallel result differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSolverOnSegmentedRows(t *testing.T) {
+	// The grid must work identically on segarray-backed rows (the
+	// optimized layout of Sect. 2.3).
+	n := 17
+	sp := alloc.NewSpace()
+	rows := make([]int64, n)
+	for i := range rows {
+		rows[i] = int64(n)
+	}
+	params := segarray.Params{ElemSize: 8, Align: phys.PageSize, SegAlign: 512, Shift: 128}
+	mk := func() *Grid {
+		arr := segarray.NewArray[float64](segarray.Plan(sp, params, rows))
+		host := make([][]float64, n)
+		for i := range host {
+			host[i] = arr.Segment(i)
+		}
+		g := FromRows(n, host)
+		g.SetBoundary(1, 0)
+		return g
+	}
+	res := Solve(mk(), mk(), 2000, 2)
+	if err := res.MaxLinearError(1, 0); err > 1e-6 {
+		t.Errorf("segmented solve error %g", err)
+	}
+}
+
+// ---- trace generator -----------------------------------------------------------
+
+func drain(p *trace.Program) (units int64, acc [][]trace.Access) {
+	acc = make([][]trace.Access, len(p.Gens))
+	var it trace.Item
+	for t, g := range p.Gens {
+		for {
+			it.Reset()
+			if !g.Next(&it) {
+				break
+			}
+			units += it.Units
+			acc[t] = append(acc[t], append([]trace.Access(nil), it.Acc...)...)
+		}
+	}
+	return units, acc
+}
+
+func TestTraceUnits(t *testing.T) {
+	n := int64(66)
+	spec := Spec{
+		N:      n,
+		Src:    PlainRows(0x100000, n),
+		Dst:    PlainRows(0x900000, n),
+		Sched:  omp.StaticChunk{Size: 1},
+		Sweeps: 3,
+	}
+	units, _ := drain(spec.Program(8))
+	want := 3 * (n - 2) * (n - 2)
+	if units != want {
+		t.Errorf("site updates %d, want %d", units, want)
+	}
+}
+
+func TestTraceTouchesThreeSourceRows(t *testing.T) {
+	n := int64(34)
+	src := PlainRows(0x100000, n)
+	dst := PlainRows(0x900000, n)
+	spec := Spec{N: n, Src: src, Dst: dst, Sched: omp.StaticBlock{}, Sweeps: 1}
+	_, acc := drain(spec.Program(1))
+
+	srcLines := map[phys.Addr]bool{}
+	dstLines := map[phys.Addr]bool{}
+	for _, a := range acc[0] {
+		if a.Write {
+			dstLines[a.Addr] = true
+		} else {
+			srcLines[a.Addr] = true
+		}
+	}
+	// Sources: rows 0..n-1 all read (row 0 and n-1 as halo); dst: rows
+	// 1..n-2 written.
+	for row := int64(0); row < n; row++ {
+		if !srcLines[phys.LineOf(src(row)+phys.LineSize)] {
+			t.Fatalf("source row %d never read", row)
+		}
+	}
+	if dstLines[phys.LineOf(dst(0))] {
+		t.Error("boundary dst row 0 written")
+	}
+	if !dstLines[phys.LineOf(dst(1)+phys.LineSize)] {
+		t.Error("interior dst row 1 not written")
+	}
+}
+
+func TestTraceTogglesGrids(t *testing.T) {
+	n := int64(18)
+	src := PlainRows(0x100000, n)
+	dst := PlainRows(0x900000, n)
+	spec := Spec{N: n, Src: src, Dst: dst, Sched: omp.StaticBlock{}, Sweeps: 2}
+	_, acc := drain(spec.Program(1))
+	// In sweep 2 the writes must land in the src array (toggle).
+	wroteToSrc := false
+	for _, a := range acc[0] {
+		if a.Write && a.Addr < 0x900000 {
+			wroteToSrc = true
+		}
+	}
+	if !wroteToSrc {
+		t.Error("second sweep did not toggle the grids")
+	}
+}
+
+func TestTraceDemandPerSite(t *testing.T) {
+	n := int64(10)
+	spec := Spec{N: n, Src: PlainRows(0, n), Dst: PlainRows(1<<20, n), Sched: omp.StaticBlock{}}
+	p := spec.Program(1)
+	var it trace.Item
+	if !p.Gens[0].Next(&it) {
+		t.Fatal("no items")
+	}
+	if it.Demand.Flops != 4*it.Units || it.Demand.MemOps != 5*it.Units {
+		t.Errorf("demand %+v for %d sites", it.Demand, it.Units)
+	}
+}

@@ -1,0 +1,163 @@
+// Package mem models the T2's four dual-channel FB-DIMM memory
+// controllers. FB-DIMM links are unidirectional: reads return on the
+// northbound lanes, writes are pushed on the southbound lanes, so each
+// controller is modeled as two FCFS channel cursors. Writes additionally
+// steal WriteCouple cycles of northbound occupancy (command/turnaround
+// overhead on the shared AMB path) — the model of the paper's Sect. 2.1
+// conjecture that "at least part of the problem is caused by overhead for
+// bidirectional transfers": kernels that mix reads and writebacks pay it,
+// load-only kernels do not.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Config holds controller timing parameters, all in core cycles per
+// 64-byte line.
+type Config struct {
+	ReadService  int64 // northbound occupancy per line read
+	WriteService int64 // southbound occupancy per line write
+	WriteCouple  int64 // northbound occupancy stolen by each write
+	Latency      int64 // pipeline latency added to reads after service
+	// QueueDepth is the northbound request-queue capacity. When the queue
+	// is full the crossbar NACKs the requester, which must retry. Finite
+	// queues are what make address-aliasing convoys persistent: strands
+	// rejected together retry together instead of acquiring staggered
+	// fair-queue slots, so congruent streams keep hitting one controller
+	// "at a time" exactly as Sect. 2.1 describes. 0 disables the limit.
+	QueueDepth int64
+}
+
+// T2Defaults returns timings calibrated so that the simulated chip lands in
+// the paper's measured ranges (see DESIGN.md Sect. 6).
+func T2Defaults() Config {
+	return Config{ReadService: 15, WriteService: 15, WriteCouple: 4, Latency: 160, QueueDepth: 8}
+}
+
+// CtlStats are per-controller traffic counters.
+type CtlStats struct {
+	Reads      int64
+	Writes     int64
+	BusyCycles int64 // northbound + southbound occupancy
+}
+
+// Lines returns the total number of line transfers.
+func (s CtlStats) Lines() int64 { return s.Reads + s.Writes }
+
+type controller struct {
+	north sim.Cursor // read-return channel
+	south sim.Cursor // write channel
+	stats CtlStats
+}
+
+// System is the set of memory controllers behind the L2.
+type System struct {
+	cfg     Config
+	mapping phys.Mapping
+	ctls    []controller
+}
+
+// New builds a controller system with one controller per mapping target.
+func New(cfg Config, mapping phys.Mapping) *System {
+	if cfg.ReadService <= 0 || cfg.WriteService <= 0 || cfg.Latency < 0 || cfg.WriteCouple < 0 {
+		panic(fmt.Sprintf("mem: invalid config %+v", cfg))
+	}
+	return &System{cfg: cfg, mapping: mapping, ctls: make([]controller, mapping.Controllers())}
+}
+
+// Config returns the timing parameters.
+func (s *System) Config() Config { return s.cfg }
+
+// Full reports whether the northbound queue of the controller serving addr
+// has no room for another request at time now. Callers must retry later.
+func (s *System) Full(now sim.Time, addr phys.Addr) bool {
+	if s.cfg.QueueDepth <= 0 {
+		return false
+	}
+	c := &s.ctls[s.mapping.Controller(addr)]
+	backlog := c.north.FreeAt() - now
+	return backlog >= s.cfg.QueueDepth*s.cfg.ReadService
+}
+
+// Read issues a demand or RFO line read arriving at the controller at time
+// now and returns the time at which the data is back at the L2.
+func (s *System) Read(now sim.Time, addr phys.Addr) sim.Time {
+	c := &s.ctls[s.mapping.Controller(addr)]
+	_, done := c.north.Acquire(now, s.cfg.ReadService)
+	c.stats.Reads++
+	c.stats.BusyCycles += s.cfg.ReadService
+	return done + s.cfg.Latency
+}
+
+// Write issues a posted line write (a dirty writeback). Nothing waits for
+// it; it consumes southbound bandwidth and couples WriteCouple cycles onto
+// the northbound channel. The southbound completion time is returned for
+// tests.
+func (s *System) Write(now sim.Time, addr phys.Addr) sim.Time {
+	c := &s.ctls[s.mapping.Controller(addr)]
+	_, done := c.south.Acquire(now, s.cfg.WriteService)
+	if s.cfg.WriteCouple > 0 {
+		c.north.Acquire(now, s.cfg.WriteCouple)
+	}
+	c.stats.Writes++
+	c.stats.BusyCycles += s.cfg.WriteService + s.cfg.WriteCouple
+	return done
+}
+
+// Stats returns a copy of the per-controller counters.
+func (s *System) Stats() []CtlStats {
+	out := make([]CtlStats, len(s.ctls))
+	for i := range s.ctls {
+		out[i] = s.ctls[i].stats
+	}
+	return out
+}
+
+// BusyCycles returns the summed channel occupancy across controllers.
+func (s *System) BusyCycles() int64 {
+	var t int64
+	for i := range s.ctls {
+		t += s.ctls[i].stats.BusyCycles
+	}
+	return t
+}
+
+// MaxFreeAt returns the latest time any controller channel is still busy.
+func (s *System) MaxFreeAt() sim.Time {
+	var t sim.Time
+	for i := range s.ctls {
+		if f := s.ctls[i].north.FreeAt(); f > t {
+			t = f
+		}
+		if f := s.ctls[i].south.FreeAt(); f > t {
+			t = f
+		}
+	}
+	return t
+}
+
+// Utilization returns each controller's northbound busy fraction over the
+// horizon — the "uniform utilization of all four memory controllers"
+// metric. Northbound only: it is the contended resource for the kernels
+// studied.
+func (s *System) Utilization(horizon sim.Time) []float64 {
+	out := make([]float64, len(s.ctls))
+	if horizon <= 0 {
+		return out
+	}
+	for i := range s.ctls {
+		out[i] = s.ctls[i].north.Utilization(horizon)
+	}
+	return out
+}
+
+// Reset clears all controller state and counters.
+func (s *System) Reset() {
+	for i := range s.ctls {
+		s.ctls[i] = controller{}
+	}
+}

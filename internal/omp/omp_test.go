@@ -1,0 +1,131 @@
+package omp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// coverage runs an assigner to exhaustion and returns how many times each
+// iteration was handed out.
+func coverage(a Assigner, n int64, threads int) []int {
+	counts := make([]int, n)
+	for t := 0; t < threads; t++ {
+		for {
+			c, ok := a.Next(t)
+			if !ok {
+				break
+			}
+			for i := c.Lo; i < c.Hi; i++ {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+func exactlyOnce(t *testing.T, s Schedule, n int64, threads int) {
+	t.Helper()
+	counts := coverage(s.Assigner(n, threads), n, threads)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("%s: iteration %d assigned %d times (n=%d, t=%d)", s.String(), i, c, n, threads)
+		}
+	}
+}
+
+func TestSchedulesCoverExactlyOnce(t *testing.T) {
+	scheds := []Schedule{StaticBlock{}, StaticChunk{Size: 1}, StaticChunk{Size: 7},
+		Dynamic{Size: 3}, Guided{Min: 2}}
+	for _, s := range scheds {
+		exactlyOnce(t, s, 100, 8)
+		exactlyOnce(t, s, 7, 8) // fewer iterations than threads
+		exactlyOnce(t, s, 64, 64)
+		exactlyOnce(t, s, 1, 1)
+	}
+}
+
+func TestCoverageProperty(t *testing.T) {
+	f := func(n16 uint16, t8 uint8, chunk8 uint8) bool {
+		n := int64(n16%1000) + 1
+		threads := int(t8%64) + 1
+		chunk := int64(chunk8%16) + 1
+		for _, s := range []Schedule{StaticBlock{}, StaticChunk{Size: chunk}, Dynamic{Size: chunk}, Guided{Min: chunk}} {
+			counts := coverage(s.Assigner(n, threads), n, threads)
+			for _, c := range counts {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticBlockSplit(t *testing.T) {
+	// The paper's manual split: sizes floor(N/t)+1 and floor(N/t).
+	a := StaticBlock{}.Assigner(10, 4)
+	want := []Chunk{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for tid, w := range want {
+		c, ok := a.Next(tid)
+		if !ok || c != w {
+			t.Errorf("thread %d chunk %+v, want %+v", tid, c, w)
+		}
+		if _, ok := a.Next(tid); ok {
+			t.Errorf("thread %d got a second chunk from static block", tid)
+		}
+	}
+}
+
+func TestStaticChunkRoundRobin(t *testing.T) {
+	a := StaticChunk{Size: 1}.Assigner(10, 4)
+	// Thread 1 must get iterations 1, 5, 9.
+	var got []int64
+	for {
+		c, ok := a.Next(1)
+		if !ok {
+			break
+		}
+		got = append(got, c.Lo)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Errorf("static,1 thread 1 chunks %v", got)
+	}
+}
+
+func TestDynamicIsSharedQueue(t *testing.T) {
+	a := Dynamic{Size: 2}.Assigner(6, 4)
+	c1, _ := a.Next(3)
+	c2, _ := a.Next(0)
+	c3, _ := a.Next(3)
+	if c1 != (Chunk{0, 2}) || c2 != (Chunk{2, 4}) || c3 != (Chunk{4, 6}) {
+		t.Errorf("dynamic grabs %+v %+v %+v", c1, c2, c3)
+	}
+}
+
+func TestGuidedShrinks(t *testing.T) {
+	a := Guided{Min: 1}.Assigner(100, 4)
+	c1, _ := a.Next(0)
+	c2, _ := a.Next(0)
+	if c1.Len() <= c2.Len() {
+		t.Errorf("guided chunks do not shrink: %d then %d", c1.Len(), c2.Len())
+	}
+}
+
+func TestSplit2(t *testing.T) {
+	i1, i2 := Split2(17, 5)
+	if i1 != 3 || i2 != 2 {
+		t.Errorf("Split2(17, 5) = (%d, %d)", i1, i2)
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	if (StaticChunk{Size: 1}).String() != "static,1" {
+		t.Error("static,1 label")
+	}
+	if (StaticBlock{}).String() != "static" {
+		t.Error("static label")
+	}
+}

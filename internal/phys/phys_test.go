@@ -1,0 +1,138 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestT2MappingBits(t *testing.T) {
+	m := T2Mapping{}
+	cases := []struct {
+		addr Addr
+		ctl  int
+		bank int
+	}{
+		{0x000, 0, 0},
+		{0x040, 0, 1}, // bit 6 flips the bank within the controller pair
+		{0x080, 1, 2}, // bit 7 advances the controller
+		{0x0c0, 1, 3},
+		{0x100, 2, 4}, // bit 8
+		{0x180, 3, 6},
+		{0x1c0, 3, 7},
+		{0x200, 0, 0}, // 512-byte period
+		{0x1234_0000, 0, 0},
+		{0x1234_0080, 1, 2},
+	}
+	for _, c := range cases {
+		if got := m.Controller(c.addr); got != c.ctl {
+			t.Errorf("Controller(%#x) = %d, want %d", c.addr, got, c.ctl)
+		}
+		if got := m.Bank(c.addr); got != c.bank {
+			t.Errorf("Bank(%#x) = %d, want %d", c.addr, got, c.bank)
+		}
+	}
+}
+
+func TestT2MappingPeriodProperty(t *testing.T) {
+	m := T2Mapping{}
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return m.Controller(addr) == m.Controller(addr+Addr(m.Period())) &&
+			m.Bank(addr) == m.Bank(addr+Addr(m.Period()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsecutiveLinesRotateBanks(t *testing.T) {
+	// "Consecutive 64-byte cache lines are served in turn by consecutive
+	// cache banks and memory controllers."
+	m := T2Mapping{}
+	for k := 0; k < 16; k++ {
+		a := Addr(k * LineSize)
+		if got, want := m.Bank(a), k%8; got != want {
+			t.Fatalf("line %d: bank %d, want %d", k, got, want)
+		}
+		if got, want := m.Controller(a), (k/2)%4; got != want {
+			t.Fatalf("line %d: controller %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestMappingRangesProperty(t *testing.T) {
+	for _, m := range []Mapping{T2Mapping{}, XORMapping{}, SingleMapping{}} {
+		m := m
+		f := func(a uint64) bool {
+			addr := Addr(a)
+			c := m.Controller(addr)
+			b := m.Bank(addr)
+			return c >= 0 && c < m.Controllers() && b >= 0 && b < m.Banks()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestXORMappingSpreadsPowerOfTwoStrides(t *testing.T) {
+	// The ablation mapping must break the congruence that causes aliasing:
+	// addresses 512 bytes apart must not all land on one controller.
+	m := XORMapping{}
+	seen := map[int]bool{}
+	for k := 0; k < 64; k++ {
+		seen[m.Controller(Addr(k*512))] = true
+	}
+	if len(seen) != m.Controllers() {
+		t.Errorf("XOR mapping covers %d controllers for 512-byte stride, want %d", len(seen), m.Controllers())
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		a     Addr
+		align int64
+		want  Addr
+	}{
+		{0, 64, 0},
+		{1, 64, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+		{8191, 8192, 8192},
+		{8192, 8192, 8192},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.a, c.align); got != c.want {
+			t.Errorf("AlignUp(%d, %d) = %d, want %d", c.a, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignUpProperty(t *testing.T) {
+	f := func(a uint32, e uint8) bool {
+		align := int64(1) << (e % 16)
+		r := AlignUp(Addr(a), align)
+		return r >= Addr(a) && IsAligned(r, align) && r < Addr(a)+Addr(align)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignUpPanicsOnBadAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AlignUp(_, 3) did not panic")
+		}
+	}()
+	AlignUp(0, 3)
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0x7f) != 0x40 {
+		t.Errorf("LineOf(0x7f) = %#x", LineOf(0x7f))
+	}
+	if LineIndex(0x80) != 2 {
+		t.Errorf("LineIndex(0x80) = %d", LineIndex(0x80))
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim provides the discrete-event backbone of the machine model: a
+// deterministic event engine driven by a binary heap, and FCFS resource
+// cursors used to model serialized hardware units (memory-controller
+// channels, L2 banks, per-core pipelines) without per-cycle stepping.
+//
+// The engine is single-goroutine by design. Determinism is a hard
+// requirement for the reproduction: identical inputs must produce identical
+// cycle counts, so ties between events scheduled for the same cycle are
+// broken by insertion sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in core clock cycles.
+type Time = int64
+
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time when. Scheduling into the past
+// panics: it always indicates a broken timing computation upstream and
+// would silently corrupt causality if allowed.
+func (e *Engine) At(when Time, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the earliest pending event and returns true, or returns
+// false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// if it has not advanced that far. It returns the number of events run.
+func (e *Engine) RunUntil(t Time) int {
+	n := 0
+	for len(e.events) > 0 && e.events[0].when <= t {
+		e.Step()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Cursor models a serialized FCFS resource such as a memory channel or a
+// shared pipeline. Instead of simulating occupancy cycle by cycle, the
+// cursor tracks the time at which the resource next becomes free; a request
+// arriving at time now and needing dur cycles of service starts at
+// max(now, free) and completes dur cycles later. Because the event engine
+// delivers requests in nondecreasing time order, the cursor is an exact
+// FCFS queue.
+//
+// The zero value is an idle resource that has never been used.
+type Cursor struct {
+	free Time
+	busy Time
+	ops  int64
+}
+
+// Acquire reserves the resource for dur cycles for a request arriving at
+// now, returning the service start and completion times.
+func (c *Cursor) Acquire(now Time, dur Time) (start, done Time) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative service duration %d", dur))
+	}
+	start = now
+	if c.free > start {
+		start = c.free
+	}
+	done = start + dur
+	c.free = done
+	c.busy += dur
+	c.ops++
+	return start, done
+}
+
+// FreeAt returns the earliest time at which the resource is idle.
+func (c *Cursor) FreeAt() Time { return c.free }
+
+// Busy returns the total cycles of service the resource has performed.
+func (c *Cursor) Busy() Time { return c.busy }
+
+// Ops returns the number of Acquire calls.
+func (c *Cursor) Ops() int64 { return c.ops }
+
+// Utilization returns busy time as a fraction of the elapsed horizon.
+// It returns 0 for a non-positive horizon.
+func (c *Cursor) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(horizon)
+}
+
+// Reset returns the cursor to its initial idle state.
+func (c *Cursor) Reset() { *c = Cursor{} }

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time %d", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySequence(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	var e Engine
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			e.After(7, step)
+		}
+	}
+	e.At(0, step)
+	e.Run()
+	if count != 5 {
+		t.Errorf("ran %d steps", count)
+	}
+	if e.Now() != 28 {
+		t.Errorf("final time %d, want 28", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	n := e.RunUntil(15)
+	if n != 1 || ran != 1 {
+		t.Errorf("RunUntil(15) ran %d events", ran)
+	}
+	if e.Now() != 15 {
+		t.Errorf("time %d, want 15", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending %d", e.Pending())
+	}
+}
+
+func TestCursorFCFS(t *testing.T) {
+	var c Cursor
+	s, d := c.Acquire(0, 10)
+	if s != 0 || d != 10 {
+		t.Errorf("first acquire (%d, %d)", s, d)
+	}
+	s, d = c.Acquire(5, 10) // arrives while busy: queued
+	if s != 10 || d != 20 {
+		t.Errorf("queued acquire (%d, %d)", s, d)
+	}
+	s, d = c.Acquire(100, 10) // arrives idle
+	if s != 100 || d != 110 {
+		t.Errorf("idle acquire (%d, %d)", s, d)
+	}
+	if c.Busy() != 30 {
+		t.Errorf("busy %d", c.Busy())
+	}
+	if c.Ops() != 3 {
+		t.Errorf("ops %d", c.Ops())
+	}
+}
+
+func TestCursorConservationProperty(t *testing.T) {
+	// For nondecreasing arrivals, service is work-conserving: completion
+	// of request i is max(arrival_i, completion_{i-1}) + dur_i.
+	f := func(gaps []uint8, durs []uint8) bool {
+		var c Cursor
+		now, prevDone := Time(0), Time(0)
+		n := len(gaps)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(gaps[i])
+			dur := Time(durs[i]%16 + 1)
+			start, done := c.Acquire(now, dur)
+			wantStart := now
+			if prevDone > wantStart {
+				wantStart = prevDone
+			}
+			if start != wantStart || done != wantStart+dur {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCursorUtilization(t *testing.T) {
+	var c Cursor
+	c.Acquire(0, 25)
+	if u := c.Utilization(100); u != 0.25 {
+		t.Errorf("utilization %f", u)
+	}
+	if u := c.Utilization(0); u != 0 {
+		t.Errorf("zero-horizon utilization %f", u)
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/phys"
+)
+
+func TestLineTracker(t *testing.T) {
+	var tr LineTracker
+	if !tr.Touch(0x100) {
+		t.Error("first touch not new")
+	}
+	if tr.Touch(0x13f) {
+		t.Error("same-line touch reported new")
+	}
+	if !tr.Touch(0x140) {
+		t.Error("next-line touch not new")
+	}
+	if !tr.Touch(0x100) {
+		t.Error("returning to a previous line must be new again (only consecutive dedup)")
+	}
+	tr.Reset()
+	if !tr.Touch(0x100) {
+		t.Error("touch after reset not new")
+	}
+}
+
+func TestItemReset(t *testing.T) {
+	it := Item{
+		Acc:      []Access{{Addr: 1}, {Addr: 2}},
+		Demand:   cpu.Demand{MemOps: 3},
+		Units:    7,
+		RepBytes: 9,
+	}
+	buf := it.Acc
+	it.Reset()
+	if len(it.Acc) != 0 || it.Units != 0 || it.RepBytes != 0 || it.Demand != (cpu.Demand{}) {
+		t.Errorf("reset left %+v", it)
+	}
+	it.Acc = append(it.Acc, Access{Addr: 5})
+	if &buf[0] != &it.Acc[0] {
+		t.Error("reset dropped the access buffer (reallocates every item)")
+	}
+}
+
+func TestProgramThreads(t *testing.T) {
+	p := Program{Gens: make([]Generator, 5)}
+	if p.Threads() != 5 {
+		t.Errorf("threads %d", p.Threads())
+	}
+}
+
+func TestAccessLineGranularity(t *testing.T) {
+	if phys.LineOf(0x1234) != 0x1200 {
+		t.Errorf("line of 0x1234 = %#x", phys.LineOf(0x1234))
+	}
+}
