@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test test-full bench figures clean
+
+# ci is the tier the workflow runs: formatting, static checks, build, and
+# the fast test tier (slow shape sweeps are skipped under -short).
+ci: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+# test-full runs every shape check at Small() scale (about a minute of
+# simulated sweeps on one core).
+test-full:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# figures regenerates the paper-scale figures in parallel.
+figures:
+	$(GO) run ./cmd/figures -scale full -out figures-out
+
+clean:
+	rm -rf figures-out

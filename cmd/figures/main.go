@@ -1,11 +1,17 @@
 // Command figures regenerates the paper's evaluation figures (Figs. 2, 4,
-// 5, 6, 7) on the simulated UltraSPARC T2, writes each as CSV, renders a
-// plain-text plot, and runs the shape checks that encode the paper's
-// qualitative claims.
+// 5, 6, 7) on the simulated UltraSPARC T2 by running the declarative
+// experiments in internal/bench on the internal/exp worker pool. Each
+// figure is written as CSV and as a machine-readable JSON trajectory
+// (BENCH_<fig>.json), rendered as a plain-text plot, and validated by the
+// shape checks that encode the paper's qualitative claims.
+//
+// Output is deterministic in the sweep alone: -jobs N only changes wall
+// time, never a byte of the CSV or JSON.
 //
 // Usage:
 //
-//	figures [-fig all|2|4|5|6|7] [-scale full|small] [-out DIR]
+//	figures [-fig all|2|4|5|6|7|comma-list] [-scale full|small]
+//	        [-jobs N] [-json=false] [-out DIR]
 package main
 
 import (
@@ -13,17 +19,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/exp"
 	"repro/internal/stats"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 4, 5, 6, 7")
+	fig := flag.String("fig", "all", "figures to regenerate: all, or a comma list of 2,4,5,6,7")
 	scale := flag.String("scale", "full", "experiment scale: full or small")
-	out := flag.String("out", "figures-out", "output directory for CSV files")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for the sweep pool (<=0: GOMAXPROCS)")
+	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
+	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
 	flag.Parse()
 
 	var o bench.Options
@@ -41,65 +51,75 @@ func main() {
 		os.Exit(1)
 	}
 
-	run := func(name string) bool { return *fig == "all" || *fig == name }
+	figures := bench.Figures(o)
+	selected := map[string]bool{}
+	if *fig != "all" {
+		known := map[string]bool{}
+		for _, f := range figures {
+			known[f.Name] = true
+		}
+		for _, f := range strings.Split(*fig, ",") {
+			name := "fig" + strings.TrimSpace(f)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "figures: no figure matches -fig %q\n", strings.TrimSpace(f))
+				os.Exit(2)
+			}
+			selected[name] = true
+		}
+	}
+
+	runner := exp.Runner{Jobs: *jobs}
 	failed := false
-
-	emit := func(name, xlabel string, series []stats.Series, check error) {
-		path := filepath.Join(*out, name+".csv")
-		f, err := os.Create(path)
+	for _, f := range figures {
+		if *fig != "all" && !selected[f.Name] {
+			continue
+		}
+		start := time.Now()
+		outcome, err := runner.Run(f.Exp)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
 			os.Exit(1)
 		}
-		if err := stats.WriteCSV(f, xlabel, series); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+		fmt.Printf("== %s — %d points, %d jobs, %s ==\n",
+			f.Title, len(outcome.Points), *jobs, time.Since(start).Round(time.Millisecond))
+		series := outcome.Series()
+
+		csvPath := filepath.Join(*out, f.Name+".csv")
+		writeFile(csvPath, func(w *os.File) error {
+			return stats.WriteCSV(w, f.XLabel, series)
+		})
+		if *jsonOut {
+			jsonPath := filepath.Join(*out, "BENCH_"+f.Name+".json")
+			if err := outcome.WriteJSON(jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
+				os.Exit(1)
+			}
 		}
-		f.Close()
-		stats.Plot(os.Stdout, name, series, 78, 16)
-		if check != nil {
+
+		stats.Plot(os.Stdout, f.Name, series, 78, 16)
+		if err := f.Check(series); err != nil {
 			failed = true
-			fmt.Printf("SHAPE-CHECK %s: FAIL: %v\n\n", name, check)
+			fmt.Printf("SHAPE-CHECK %s: FAIL: %v\n\n", f.Name, err)
 		} else {
-			fmt.Printf("SHAPE-CHECK %s: ok (written to %s)\n\n", name, path)
+			fmt.Printf("SHAPE-CHECK %s: ok (written to %s)\n\n", f.Name, csvPath)
 		}
 	}
-
-	if run("2") {
-		start := time.Now()
-		r := bench.Fig2(o)
-		fmt.Printf("== Fig. 2 (STREAM vs offset) — %s ==\n", time.Since(start).Round(time.Second))
-		series := append(append([]stats.Series{}, r.Triad...), r.Copy)
-		emit("fig2", "offset_words", series, bench.CheckFig2(r, o.OffsetStep))
-	}
-	if run("4") {
-		start := time.Now()
-		s := bench.Fig4(o)
-		fmt.Printf("== Fig. 4 (vector triad vs N) — %s ==\n", time.Since(start).Round(time.Second))
-		emit("fig4", "N", s, bench.CheckFig4(s))
-	}
-	if run("5") {
-		start := time.Now()
-		s := bench.Fig5(o, 64)
-		fmt.Printf("== Fig. 5 (segmented iterator overhead) — %s ==\n", time.Since(start).Round(time.Second))
-		emit("fig5", "N", s, bench.CheckFig5(s))
-	}
-	if run("6") {
-		start := time.Now()
-		s := bench.Fig6(o)
-		fmt.Printf("== Fig. 6 (2D Jacobi vs N) — %s ==\n", time.Since(start).Round(time.Second))
-		emit("fig6", "N", s, bench.CheckFig6(s))
-	}
-	if run("7") {
-		start := time.Now()
-		s := bench.Fig7(o)
-		fmt.Printf("== Fig. 7 (LBM vs N) — %s ==\n", time.Since(start).Round(time.Second))
-		emit("fig7", "N", s, bench.CheckFig7(s))
-	}
-
 	if failed {
 		fmt.Println(strings.Repeat("-", 40))
 		fmt.Println("one or more shape checks FAILED")
+		os.Exit(1)
+	}
+}
+
+func writeFile(path string, fill func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,12 @@
 //	placement rows
 //	placement explain -n 33554432 -offset 32
 //	placement layout -n 128
+//	placement sweep -n 33554432 -max 256 -step 2 -jobs 8 -json pred.json
+//
+// The sweep subcommand runs the analyzer itself as a declarative
+// experiment on the internal/exp worker pool: predicted relative bandwidth
+// and regime for every COMMON-block offset, no simulation involved — the
+// engine is agnostic to what a point evaluates.
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/lbm"
 	"repro/internal/phys"
 )
@@ -73,12 +81,65 @@ func main() {
 		fmt.Printf("  IJKv: %d bytes -> %d controllers covered\n", sIJKv, core.PhaseSpread(ms, sIJKv, lbm.Q))
 		fmt.Printf("  IvJK: %d bytes -> %d controllers covered\n", sIvJK, core.PhaseSpread(ms, sIvJK, lbm.Q))
 		fmt.Printf("advised layout: %s\n", core.AdviseLayout(ms, "IJKv", sIJKv, "IvJK", sIvJK, lbm.Q))
+	case "sweep":
+		fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+		n := fs.Int64("n", 1<<25, "STREAM array length in DP words")
+		max := fs.Int64("max", 256, "largest COMMON-block offset to analyze (words)")
+		step := fs.Int64("step", 2, "offset step (words)")
+		jobs := fs.Int("jobs", 0, "worker goroutines (<=0: GOMAXPROCS)")
+		jsonOut := fs.String("json", "", "write the JSON trajectory to this file ('-' for stdout)")
+		fs.Parse(os.Args[2:])
+		if *step <= 0 || *max < 0 {
+			fmt.Fprintln(os.Stderr, "placement: sweep needs -step > 0 and -max >= 0")
+			os.Exit(2)
+		}
+
+		e := exp.Experiment{
+			Name: "placement/offset-prediction",
+			Doc:  "analyzer-predicted relative STREAM bandwidth vs COMMON-block offset",
+			Grid: exp.Grid{exp.Span64("offset", 0, *max+1, *step)},
+			Run: func(_ chip.Config, p exp.Point) (exp.Result, error) {
+				off := p.Int64("offset")
+				ndim := *n + off
+				bases := []phys.Addr{0, phys.Addr(ndim * phys.WordSize), phys.Addr(2 * ndim * phys.WordSize)}
+				pred := core.PredictRelativeBandwidth(ms, core.StreamSet{Bases: bases, Stride: phys.LineSize})
+				phases, _ := core.ExplainStreamOffset(ms, *n, off)
+				spread := map[int]bool{}
+				for _, ph := range phases {
+					spread[ph] = true
+				}
+				return exp.Result{
+					Series: "predicted",
+					X:      float64(off),
+					Y:      pred,
+					Metrics: map[string]float64{
+						"controllers_covered": float64(len(spread)),
+					},
+				}, nil
+			},
+		}
+		out, err := exp.Runner{Jobs: *jobs}.Run(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%8s %10s %12s\n", "offset", "predicted", "controllers")
+		for _, pr := range out.Points {
+			fmt.Printf("%8.0f %10.2f %12.0f\n",
+				pr.Result.X, pr.Result.Y, pr.Result.Metrics["controllers_covered"])
+		}
+		if *jsonOut != "" {
+			if err := out.WriteJSON(*jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: placement {offsets|rows|explain|layout} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: placement {offsets|rows|explain|layout|sweep} [flags]")
 	os.Exit(2)
 }

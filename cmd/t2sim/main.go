@@ -1,7 +1,10 @@
-// Command t2sim runs a single kernel on the simulated UltraSPARC T2 with
-// explicit placement parameters and prints the performance report —
-// bandwidth, MLUPs, per-controller utilization and the strand time
-// breakdown.
+// Command t2sim runs kernels on the simulated UltraSPARC T2 with explicit
+// placement parameters. Without -sweep it runs a single point and prints
+// the full performance report — bandwidth, MLUPs, per-controller
+// utilization and the strand time breakdown. With -sweep it becomes a
+// declarative one-axis experiment on the internal/exp worker pool: the
+// named parameter is swept across lo..hi and every point is simulated in
+// parallel, with a table and optionally a JSON trajectory as output.
 //
 // Examples:
 //
@@ -11,16 +14,21 @@
 //	t2sim -kernel jacobi -n 1200 -threads 64 -opt
 //	t2sim -kernel lbm -n 96 -threads 64 -layout IvJK -fused
 //	t2sim -kernel triad -n 524288 -threads 64 -offset 0 -mapping xor
+//	t2sim -kernel triad -n 524288 -sweep offset=0:256:2 -jobs 8 -json -
+//	t2sim -kernel vtriad -n 1048576 -sweep threads=8:64:8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/jacobi"
 	"repro/internal/kernels"
 	"repro/internal/lbm"
@@ -30,20 +38,39 @@ import (
 	"repro/internal/trace"
 )
 
+// params carries every knob a single simulation point needs; the sweep
+// axis overrides one field per point.
+type params struct {
+	kernel      string
+	n           int64
+	threads     int
+	offset      int64
+	arrayOffset int64
+	sweeps      int
+	sched       string
+	layout      string
+	fused       bool
+	opt         bool
+}
+
 func main() {
-	kernel := flag.String("kernel", "triad", "kernel: copy, scale, add, triad, vtriad, loadsum, jacobi, lbm")
-	n := flag.Int64("n", 1<<19, "problem size (elements; grid edge for jacobi/lbm)")
-	threads := flag.Int("threads", 64, "software threads (1..64)")
-	offset := flag.Int64("offset", 0, "STREAM COMMON-block offset in DP words")
-	arrayOffset := flag.Int64("arrayoffset", 0, "per-array byte offset (array i shifted by i*offset)")
-	sweeps := flag.Int("sweeps", 1, "passes over the data")
-	sched := flag.String("sched", "static", "schedule: static, static1, dynamic, guided")
+	var p params
+	flag.StringVar(&p.kernel, "kernel", "triad", "kernel: copy, scale, add, triad, vtriad, loadsum, jacobi, lbm")
+	flag.Int64Var(&p.n, "n", 1<<19, "problem size (elements; grid edge for jacobi/lbm)")
+	flag.IntVar(&p.threads, "threads", 64, "software threads (1..64)")
+	flag.Int64Var(&p.offset, "offset", 0, "STREAM COMMON-block offset in DP words")
+	flag.Int64Var(&p.arrayOffset, "arrayoffset", 0, "per-array byte offset (array i shifted by i*offset)")
+	flag.IntVar(&p.sweeps, "sweeps", 1, "passes over the data")
+	flag.StringVar(&p.sched, "sched", "static", "schedule: static, static1, dynamic, guided")
 	mapping := flag.String("mapping", "t2", "address mapping: t2, xor, single")
-	layoutName := flag.String("layout", "IvJK", "LBM layout: IJKv or IvJK")
-	fused := flag.Bool("fused", false, "LBM: coalesce the outer loop pair")
-	opt := flag.Bool("opt", false, "jacobi: apply the planner's row placement (512B align, 128B shift)")
+	flag.StringVar(&p.layout, "layout", "IvJK", "LBM layout: IJKv or IvJK")
+	flag.BoolVar(&p.fused, "fused", false, "LBM: coalesce the outer loop pair")
+	flag.BoolVar(&p.opt, "opt", false, "jacobi: apply the planner's row placement (512B align, 128B shift)")
 	msar := flag.Int("mshr", 1, "outstanding load misses per strand (ablation)")
 	runAhead := flag.Int64("runahead", 2, "strand run-ahead window in items; 0 = unbounded")
+	sweep := flag.String("sweep", "", "sweep one parameter: {offset|arrayoffset|n|threads}=lo:hi:step (hi inclusive)")
+	jobs := flag.Int("jobs", 0, "worker goroutines for -sweep (<=0: GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "with -sweep: write the JSON trajectory to this file ('-' for stdout)")
 	flag.Parse()
 
 	cfg := chip.Default()
@@ -59,92 +86,115 @@ func main() {
 		fail("unknown mapping %q", *mapping)
 	}
 
-	var schedule omp.Schedule
-	switch *sched {
-	case "static":
-		schedule = omp.StaticBlock{}
-	case "static1":
-		schedule = omp.StaticChunk{Size: 1}
-	case "dynamic":
-		schedule = omp.Dynamic{Size: 1}
-	case "guided":
-		schedule = omp.Guided{Min: 1}
-	default:
-		fail("unknown schedule %q", *sched)
+	if *sweep == "" {
+		runSingle(cfg, p)
+		return
 	}
+	runSweep(cfg, p, *sweep, *jobs, *jsonOut)
+}
 
+// schedule resolves the schedule name; jacobi -opt forces static1 as the
+// planner prescribes.
+func (p params) schedule() (omp.Schedule, error) {
+	switch p.sched {
+	case "static":
+		return omp.StaticBlock{}, nil
+	case "static1":
+		return omp.StaticChunk{Size: 1}, nil
+	case "dynamic":
+		return omp.Dynamic{Size: 1}, nil
+	case "guided":
+		return omp.Guided{Min: 1}, nil
+	}
+	return nil, fmt.Errorf("unknown schedule %q", p.sched)
+}
+
+// build constructs the trace program for one parameter point.
+func (p params) build(cfg chip.Config) (*trace.Program, error) {
+	schedule, err := p.schedule()
+	if err != nil {
+		return nil, err
+	}
 	sp := alloc.NewSpace()
 	var prog *trace.Program
 
-	switch *kernel {
+	switch p.kernel {
 	case "copy", "scale", "add", "triad":
-		bases := sp.Common(3, *n+*offset, phys.WordSize)
+		bases := sp.Common(3, p.n+p.offset, phys.WordSize)
 		var k kernels.Stream
-		switch *kernel {
+		switch p.kernel {
 		case "copy":
-			k = kernels.StreamCopy(bases[2], bases[0], *n)
+			k = kernels.StreamCopy(bases[2], bases[0], p.n)
 		case "scale":
-			k = kernels.StreamScale(bases[1], bases[2], *n)
+			k = kernels.StreamScale(bases[1], bases[2], p.n)
 		case "add":
-			k = kernels.StreamAdd(bases[2], bases[0], bases[1], *n)
+			k = kernels.StreamAdd(bases[2], bases[0], bases[1], p.n)
 		case "triad":
-			k = kernels.StreamTriad(bases[0], bases[1], bases[2], *n)
+			k = kernels.StreamTriad(bases[0], bases[1], bases[2], p.n)
 		}
-		k.Sweeps = *sweeps
-		prog = k.Program(schedule, *threads)
+		k.Sweeps = p.sweeps
+		prog = k.Program(schedule, p.threads)
 	case "vtriad":
-		bases := sp.OffsetBases(4, *n*phys.WordSize, phys.PageSize, *arrayOffset)
-		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], *n)
-		k.Sweeps = *sweeps
-		prog = k.Program(schedule, *threads)
+		bases := sp.OffsetBases(4, p.n*phys.WordSize, phys.PageSize, p.arrayOffset)
+		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], p.n)
+		k.Sweeps = p.sweeps
+		prog = k.Program(schedule, p.threads)
 	case "loadsum":
-		bases := sp.OffsetBases(4, *n*phys.WordSize, phys.PageSize, *arrayOffset)
-		k := kernels.LoadSum(bases, *n)
-		k.Sweeps = *sweeps
-		prog = k.Program(schedule, *threads)
+		bases := sp.OffsetBases(4, p.n*phys.WordSize, phys.PageSize, p.arrayOffset)
+		k := kernels.LoadSum(bases, p.n)
+		k.Sweeps = p.sweeps
+		prog = k.Program(schedule, p.threads)
 	case "jacobi":
-		spec := jacobi.Spec{N: *n, Sched: schedule, Sweeps: *sweeps}
-		if *opt {
+		spec := jacobi.Spec{N: p.n, Sched: schedule, Sweeps: p.sweeps}
+		if p.opt {
 			rp := core.PlanRows(core.T2Spec())
-			params := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
+			sparams := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
 				SegAlign: rp.SegAlign, Shift: rp.Shift}
-			rows := make([]int64, *n)
+			rows := make([]int64, p.n)
 			for i := range rows {
-				rows[i] = *n
+				rows[i] = p.n
 			}
-			srcL := segarray.Plan(sp, params, rows)
-			dstL := segarray.Plan(sp, params, rows)
+			srcL := segarray.Plan(sp, sparams, rows)
+			dstL := segarray.Plan(sp, sparams, rows)
 			spec.Src = func(i int64) phys.Addr { return srcL.Segs[i].Start }
 			spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
 			spec.Sched = omp.StaticChunk{Size: 1}
 		} else {
-			spec.Src = jacobi.PlainRows(sp.Malloc(*n**n*phys.WordSize), *n)
-			spec.Dst = jacobi.PlainRows(sp.Malloc(*n**n*phys.WordSize), *n)
+			spec.Src = jacobi.PlainRows(sp.Malloc(p.n*p.n*phys.WordSize), p.n)
+			spec.Dst = jacobi.PlainRows(sp.Malloc(p.n*p.n*phys.WordSize), p.n)
 		}
-		prog = spec.Program(*threads)
+		prog = spec.Program(p.threads)
 	case "lbm":
 		var layout lbm.Layout
-		switch *layoutName {
+		switch p.layout {
 		case "IJKv":
 			layout = lbm.IJKv
 		case "IvJK":
 			layout = lbm.IvJK
 		default:
-			fail("unknown layout %q", *layoutName)
+			return nil, fmt.Errorf("unknown layout %q", p.layout)
 		}
 		spec := lbm.TraceSpec{
-			N: *n, Layout: layout,
-			OldBase:  sp.Malloc(lbm.GridBytes(*n, layout)),
-			NewBase:  sp.Malloc(lbm.GridBytes(*n, layout)),
-			MaskBase: sp.Malloc(lbm.MaskBytes(*n)),
-			Fused:    *fused, Sched: schedule, Sweeps: *sweeps,
+			N: p.n, Layout: layout,
+			OldBase:  sp.Malloc(lbm.GridBytes(p.n, layout)),
+			NewBase:  sp.Malloc(lbm.GridBytes(p.n, layout)),
+			MaskBase: sp.Malloc(lbm.MaskBytes(p.n)),
+			Fused:    p.fused, Sched: schedule, Sweeps: p.sweeps,
 		}
-		prog = spec.Program(*threads)
+		prog = spec.Program(p.threads)
 	default:
-		fail("unknown kernel %q", *kernel)
+		return nil, fmt.Errorf("unknown kernel %q", p.kernel)
 	}
-
 	prog.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+	return prog, nil
+}
+
+// runSingle simulates one point and prints the detailed report.
+func runSingle(cfg chip.Config, p params) {
+	prog, err := p.build(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
 	m := chip.New(cfg)
 	r := m.Run(prog)
 
@@ -165,6 +215,97 @@ func main() {
 	fmt.Printf("breakdown: load %.1f%%  store %.1f%%  compute %.1f%%  retry %.1f%%\n",
 		100*float64(r.LoadStall)/tot, 100*float64(r.StoreStall)/tot,
 		100*float64(r.ComputeStall)/tot, 100*float64(r.RetryStall)/tot)
+}
+
+// parseSweep parses "axis=lo:hi:step" with hi inclusive.
+func parseSweep(spec string) (axis string, lo, hi, step int64, err error) {
+	name, rng, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", 0, 0, 0, fmt.Errorf("sweep spec %q is not axis=lo:hi:step", spec)
+	}
+	parts := strings.Split(rng, ":")
+	if len(parts) != 3 {
+		return "", 0, 0, 0, fmt.Errorf("sweep range %q is not lo:hi:step", rng)
+	}
+	vals := make([]int64, 3)
+	for i, s := range parts {
+		v, perr := strconv.ParseInt(s, 10, 64)
+		if perr != nil {
+			return "", 0, 0, 0, fmt.Errorf("sweep range %q: %v", rng, perr)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return "", 0, 0, 0, fmt.Errorf("sweep range %q must have hi >= lo and step > 0", rng)
+	}
+	return name, vals[0], vals[1], vals[2], nil
+}
+
+// runSweep fans the one-axis sweep out over the worker pool and prints a
+// table plus the optional JSON trajectory.
+func runSweep(cfg chip.Config, base params, spec string, jobs int, jsonOut string) {
+	axis, lo, hi, step, err := parseSweep(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	switch axis {
+	case "offset", "arrayoffset", "n", "threads":
+	default:
+		fail("unknown sweep axis %q (want offset, arrayoffset, n or threads)", axis)
+	}
+
+	e := exp.Experiment{
+		Name: "t2sim/" + base.kernel,
+		Doc:  fmt.Sprintf("%s sweep over %s", base.kernel, axis),
+		Cfg:  cfg,
+		Grid: exp.Grid{exp.Span64(axis, lo, hi+1, step)},
+		Run: func(cfg chip.Config, pt exp.Point) (exp.Result, error) {
+			p := base
+			v := pt.Int64(axis)
+			switch axis {
+			case "offset":
+				p.offset = v
+			case "arrayoffset":
+				p.arrayOffset = v
+			case "n":
+				p.n = v
+			case "threads":
+				p.threads = int(v)
+			}
+			prog, err := p.build(cfg)
+			if err != nil {
+				return exp.Result{}, err
+			}
+			r := chip.New(cfg).Run(prog)
+			return exp.Result{
+				Series: fmt.Sprintf("%s/%dT", p.kernel, p.threads),
+				X:      float64(v),
+				Y:      r.GBps,
+				Metrics: map[string]float64{
+					"actual_gbps": r.ActualGBps,
+					"mups":        r.MUPs,
+					"balance":     r.Balance(),
+				},
+			}, nil
+		},
+	}
+	out, err := exp.Runner{Jobs: jobs}.Run(e)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%12s %12s %12s %12s %10s\n", axis, "GB/s", "actual-GB/s", "MUP/s", "balance")
+	for _, pr := range out.Points {
+		fmt.Printf("%12.0f %12.2f %12.2f %12.2f %10.2f\n",
+			pr.Result.X, pr.Result.Y, pr.Result.Metrics["actual_gbps"],
+			pr.Result.Metrics["mups"], pr.Result.Metrics["balance"])
+	}
+
+	if jsonOut != "" {
+		if err := out.WriteJSON(jsonOut); err != nil {
+			fail("%v", err)
+		}
+	}
 }
 
 func fail(format string, args ...interface{}) {

@@ -8,6 +8,9 @@
 //
 // The implementation lives under internal/; entry points are the binaries
 // in cmd/ (t2sim, figures, placement), the runnable examples under
-// examples/, and the benchmarks in bench_test.go. See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// examples/, and the benchmarks in bench_test.go. Every figure sweep runs
+// as a declarative experiment on the internal/exp worker pool, so
+// regeneration parallelizes across GOMAXPROCS with byte-identical output.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
 package repro

@@ -2,14 +2,23 @@
 // figure of the paper's evaluation (Figs. 2, 4, 5, 6, 7) on the simulated
 // T2, plus shape checks that encode the paper's qualitative claims — who
 // wins, by what factor, with which periodicity — as testable predicates.
+//
+// Every figure is a declarative exp.Experiment: a parameter grid plus a
+// closure evaluating one grid point on one freshly built machine. The
+// exp worker pool fans the points out across GOMAXPROCS goroutines and
+// reassembles them in deterministic grid order, so regenerating a figure
+// with -jobs N is bit-identical to -jobs 1. See DESIGN.md Sect. 5 for the
+// scale reductions and EXPERIMENTS.md for regenerated results.
 package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/jacobi"
 	"repro/internal/kernels"
 	"repro/internal/lbm"
@@ -101,6 +110,24 @@ func Small() Options {
 
 func (o Options) warmLines() int64 { return o.Cfg.L2.SizeBytes / phys.LineSize }
 
+// runProg builds a machine for the point's configuration and runs one
+// program; every experiment closure funnels through it.
+func runProg(cfg chip.Config, p *trace.Program, warm int64) chip.Result {
+	p.WarmLines = warm
+	return chip.New(cfg).Run(p)
+}
+
+// bwMetrics exposes the secondary metrics every bandwidth trajectory
+// carries alongside its headline number.
+func bwMetrics(r chip.Result) map[string]float64 {
+	return map[string]float64{
+		"gbps":        r.GBps,
+		"actual_gbps": r.ActualGBps,
+		"mups":        r.MUPs,
+		"balance":     r.Balance(),
+	}
+}
+
 // ---- Fig. 2: STREAM vs COMMON-block offset ---------------------------------
 
 // Fig2Result bundles the lower (triad) and upper (copy) panels.
@@ -109,23 +136,66 @@ type Fig2Result struct {
 	Copy  stats.Series   // 64 threads
 }
 
-// Fig2 regenerates Fig. 2: STREAM triad bandwidth versus array offset for
+// Fig2Exp declares Fig. 2: STREAM triad bandwidth versus array offset for
 // several thread counts, and copy bandwidth at 64 threads.
-func Fig2(o Options) Fig2Result {
-	m := chip.New(o.Cfg)
-	var res Fig2Result
-	for _, th := range o.Fig2Threads {
-		s := stats.Series{Name: fmt.Sprintf("triad/%dT", th)}
-		for off := int64(0); off <= o.OffsetMax; off += o.OffsetStep {
-			r := m.Run(o.streamProg(kernelTriad, off, th))
-			s.Add(float64(off), r.GBps)
-		}
-		res.Triad = append(res.Triad, s)
+func (o Options) Fig2Exp() exp.Experiment {
+	// The copy panel always runs at 64 threads, whether or not 64 is among
+	// the triad thread counts.
+	triadT := map[int]bool{}
+	for _, t := range o.Fig2Threads {
+		triadT[t] = true
 	}
-	res.Copy = stats.Series{Name: "copy/64T"}
-	for off := int64(0); off <= o.OffsetMax; off += o.OffsetStep {
-		r := m.Run(o.streamProg(kernelCopy, off, 64))
-		res.Copy.Add(float64(off), r.GBps)
+	threadAxis := o.Fig2Threads
+	if !triadT[64] {
+		threadAxis = append(append([]int{}, o.Fig2Threads...), 64)
+	}
+	return exp.Experiment{
+		Name: "fig2",
+		Doc:  "STREAM triad/copy bandwidth vs COMMON-block offset (GB/s)",
+		Cfg:  o.Cfg,
+		Grid: exp.Grid{
+			exp.Strs("kernel", "triad", "copy"),
+			exp.Ints("threads", threadAxis...),
+			exp.Span64("offset", 0, o.OffsetMax+1, o.OffsetStep),
+		},
+		Keep: func(p exp.Point) bool {
+			if p.Str("kernel") == "copy" {
+				return p.Int("threads") == 64
+			}
+			return triadT[p.Int("threads")]
+		},
+		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+			kind := kernelTriad
+			if p.Str("kernel") == "copy" {
+				kind = kernelCopy
+			}
+			th := p.Int("threads")
+			off := p.Int64("offset")
+			r := runProg(cfg, o.streamProg(kind, off, th), o.warmLines())
+			return exp.Result{
+				Series:  fmt.Sprintf("%s/%dT", p.Str("kernel"), th),
+				X:       float64(off),
+				Y:       r.GBps,
+				Metrics: bwMetrics(r),
+			}, nil
+		},
+	}
+}
+
+// Fig2 regenerates Fig. 2 on the parallel engine.
+func Fig2(o Options) Fig2Result {
+	return fig2FromSeries(exp.MustRun(o.Fig2Exp()).Series())
+}
+
+// fig2FromSeries splits the flat series list back into the two panels.
+func fig2FromSeries(series []stats.Series) Fig2Result {
+	var res Fig2Result
+	for _, s := range series {
+		if strings.HasPrefix(s.Name, "copy/") {
+			res.Copy = s
+		} else {
+			res.Triad = append(res.Triad, s)
+		}
 	}
 	return res
 }
@@ -148,9 +218,7 @@ func (o Options) streamProg(kind streamKind, offsetWords int64, threads int) *tr
 		k = kernels.StreamTriad(bases[0], bases[1], bases[2], o.StreamN)
 	}
 	k.Sweeps = o.StreamSweeps
-	p := k.Program(omp.StaticBlock{}, threads)
-	p.WarmLines = o.warmLines()
-	return p
+	return k.Program(omp.StaticBlock{}, threads)
 }
 
 // ---- Fig. 4: vector triad vs N under placement policies --------------------
@@ -173,201 +241,255 @@ func segTriadLayouts(sp *alloc.Space, n int64, threads int, offset int64) [4]*se
 	return out
 }
 
-// Fig4 regenerates Fig. 4: vector triad bandwidth versus array length for
+// Fig4Exp declares Fig. 4: vector triad bandwidth versus array length for
 // plain malloc placement, 8 kB alignment of every thread's segment, and
 // the same alignment with per-array byte offsets of 32, 64 and 128 (arrays
 // B, C, D shifted by one, two and three times the offset).
-func Fig4(o Options) []stats.Series {
-	m := chip.New(o.Cfg)
+func (o Options) Fig4Exp() exp.Experiment {
 	const threads = 64
-	offsets := []struct {
-		name string
-		off  int64
-	}{
-		{"align8k", 0},
-		{"align8k+32", 32},
-		{"align8k+64", 64},
-		{"align8k+128", 128},
-	}
-	out := make([]stats.Series, 0, len(offsets)+1)
-
-	plain := stats.Series{Name: "plain"}
-	for n := o.TriadN; n < o.TriadN+o.TriadLen; n += o.TriadStep {
-		sp := alloc.NewSpace()
-		bases := make([]phys.Addr, 4)
-		for i := range bases {
-			bases[i] = sp.Malloc(n * phys.WordSize)
-		}
-		// a = b + c*d: a is written, b, c, d are read.
-		k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], n)
-		p := k.Program(omp.StaticBlock{}, threads)
-		p.WarmLines = o.warmLines()
-		plain.Add(float64(n), m.Run(p).GBps)
-	}
-	out = append(out, plain)
-
-	for _, v := range offsets {
-		s := stats.Series{Name: v.name}
-		for n := o.TriadN; n < o.TriadN+o.TriadLen; n += o.TriadStep {
+	return exp.Experiment{
+		Name: "fig4",
+		Doc:  "vector triad bandwidth vs N under placement policies (GB/s)",
+		Cfg:  o.Cfg,
+		Grid: exp.Grid{
+			exp.Strs("placement", "plain", "seg"),
+			exp.Int64s("offset", 0, 32, 64, 128),
+			exp.Span64("n", o.TriadN, o.TriadN+o.TriadLen, o.TriadStep),
+		},
+		// Plain malloc has no per-array offset knob.
+		Keep: func(p exp.Point) bool {
+			return p.Str("placement") == "seg" || p.Int64("offset") == 0
+		},
+		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+			n := p.Int64("n")
+			off := p.Int64("offset")
 			sp := alloc.NewSpace()
-			ls := segTriadLayouts(sp, n, threads, v.off)
-			k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
-			p := k.Program(threads)
-			p.WarmLines = o.warmLines()
-			s.Add(float64(n), m.Run(p).GBps)
-		}
-		out = append(out, s)
+			var prog *trace.Program
+			series := "plain"
+			if p.Str("placement") == "plain" {
+				bases := make([]phys.Addr, 4)
+				for i := range bases {
+					bases[i] = sp.Malloc(n * phys.WordSize)
+				}
+				// a = b + c*d: a is written, b, c, d are read.
+				k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], n)
+				prog = k.Program(omp.StaticBlock{}, threads)
+			} else {
+				ls := segTriadLayouts(sp, n, threads, off)
+				k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
+				prog = k.Program(threads)
+				series = "align8k"
+				if off != 0 {
+					series = fmt.Sprintf("align8k+%d", off)
+				}
+			}
+			r := runProg(cfg, prog, o.warmLines())
+			return exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, nil
+		},
 	}
-	return out
+}
+
+// Fig4 regenerates Fig. 4 on the parallel engine.
+func Fig4(o Options) []stats.Series {
+	return exp.MustRun(o.Fig4Exp()).Series()
 }
 
 // ---- Fig. 5: segmented iterators vs plain loops -----------------------------
 
-// Fig5 regenerates Fig. 5: vector triad bandwidth versus N for the
+// Fig5Exp declares Fig. 5: vector triad bandwidth versus N for the
 // segmented implementation with optimal alignment (per-thread segments,
 // manual floor/ceil scheduling, per-segment loop setup overhead) against
-// the plain OpenMP version.
-func Fig5(o Options, threads int) []stats.Series {
-	m := chip.New(o.Cfg)
-	seg := stats.Series{Name: fmt.Sprintf("%dT segmented optimal", threads)}
-	plain := stats.Series{Name: fmt.Sprintf("%dT non-segmented", threads)}
+// the plain OpenMP version. Offsets are kept optimal in both arms —
+// Fig. 5 isolates iterator overhead, not aliasing.
+func (o Options) Fig5Exp(threads int) exp.Experiment {
 	plan := core.PlanArrayOffsets(core.T2Spec(), 4)
-	for _, n := range o.Fig5Ns {
-		// Segmented: each array is a seg_array with one segment per thread
-		// and planned offsets; the per-segment dispatch costs extra
-		// integer work at every segment entry.
-		sp := alloc.NewSpace()
-		segLens := segarray.EqualSegments(n, threads)
-		var ls [4]*segarray.Layout
-		for i := range ls {
-			l := segarray.Plan(sp, segarray.Params{
-				ElemSize: phys.WordSize,
-				Align:    phys.PageSize,
-				SegAlign: phys.PageSize,
-				Offset:   plan.Offsets[i],
-			}, segLens)
-			ls[i] = &l
-		}
-		k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
-		k.SegOverhead = 30
-		p := k.Program(threads)
-		p.WarmLines = o.warmLines()
-		r := m.Run(p)
-		seg.Add(float64(n), r.GBps)
-
-		// Plain: contiguous arrays, plain parallel loop. Offsets are kept
-		// optimal here too — Fig. 5 isolates iterator overhead, not
-		// aliasing.
-		sp2 := alloc.NewSpace()
-		bases2 := sp2.OffsetBases(4, n*phys.WordSize, phys.PageSize, 128)
-		k2 := kernels.VTriad(bases2[0], bases2[1], bases2[2], bases2[3], n)
-		p2 := k2.Program(omp.StaticBlock{}, threads)
-		p2.WarmLines = o.warmLines()
-		r2 := m.Run(p2)
-		plain.Add(float64(n), r2.GBps)
+	return exp.Experiment{
+		Name: "fig5",
+		Doc:  "segmented iterator overhead vs plain loops (GB/s)",
+		Cfg:  o.Cfg,
+		Grid: exp.Grid{
+			exp.Strs("impl", "seg", "plain"),
+			exp.Int64s("n", o.Fig5Ns...),
+		},
+		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+			n := p.Int64("n")
+			sp := alloc.NewSpace()
+			var prog *trace.Program
+			var series string
+			if p.Str("impl") == "seg" {
+				// Segmented: each array is a seg_array with one segment per
+				// thread and planned offsets; the per-segment dispatch costs
+				// extra integer work at every segment entry.
+				segLens := segarray.EqualSegments(n, threads)
+				var ls [4]*segarray.Layout
+				for i := range ls {
+					l := segarray.Plan(sp, segarray.Params{
+						ElemSize: phys.WordSize,
+						Align:    phys.PageSize,
+						SegAlign: phys.PageSize,
+						Offset:   plan.Offsets[i],
+					}, segLens)
+					ls[i] = &l
+				}
+				k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
+				k.SegOverhead = 30
+				prog = k.Program(threads)
+				series = fmt.Sprintf("%dT segmented optimal", threads)
+			} else {
+				bases := sp.OffsetBases(4, n*phys.WordSize, phys.PageSize, 128)
+				k := kernels.VTriad(bases[0], bases[1], bases[2], bases[3], n)
+				prog = k.Program(omp.StaticBlock{}, threads)
+				series = fmt.Sprintf("%dT non-segmented", threads)
+			}
+			r := runProg(cfg, prog, o.warmLines())
+			return exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, nil
+		},
 	}
-	return []stats.Series{seg, plain}
+}
+
+// Fig5 regenerates Fig. 5 on the parallel engine.
+func Fig5(o Options, threads int) []stats.Series {
+	return exp.MustRun(o.Fig5Exp(threads)).Series()
 }
 
 // ---- Fig. 6: 2D Jacobi ------------------------------------------------------
 
-// Fig6 regenerates Fig. 6: Jacobi MLUPs/s versus problem size for the
+// Fig6Exp declares Fig. 6: Jacobi MLUPs/s versus problem size for the
 // optimally aligned segmented solver at several thread counts, plus the
 // plain (unaligned) 64-thread reference.
-func Fig6(o Options) []stats.Series {
-	m := chip.New(o.Cfg)
+func (o Options) Fig6Exp() exp.Experiment {
 	rp := core.PlanRows(core.T2Spec())
-	var out []stats.Series
-
-	plain := stats.Series{Name: "64T plain"}
-	for _, n := range o.JacobiNs {
-		sp := alloc.NewSpace()
-		src := sp.Malloc(n * n * phys.WordSize)
-		dst := sp.Malloc(n * n * phys.WordSize)
-		spec := jacobi.Spec{
-			N:      n,
-			Src:    jacobi.PlainRows(src, n),
-			Dst:    jacobi.PlainRows(dst, n),
-			Sched:  omp.StaticChunk{Size: 1},
-			Sweeps: o.JacobiSweeps,
-		}
-		p := spec.Program(64)
-		p.WarmLines = o.warmLines()
-		r := m.Run(p)
-		plain.Add(float64(n), r.MUPs)
+	// The plain reference always runs at 64 threads, whether or not 64 is
+	// among the optimized thread counts.
+	optT := map[int]bool{}
+	for _, t := range o.JacobiThreads {
+		optT[t] = true
 	}
-	out = append(out, plain)
-
-	for _, th := range o.JacobiThreads {
-		s := stats.Series{Name: fmt.Sprintf("%dT", th)}
-		for _, n := range o.JacobiNs {
+	threadAxis := o.JacobiThreads
+	if !optT[64] {
+		threadAxis = append(append([]int{}, o.JacobiThreads...), 64)
+	}
+	return exp.Experiment{
+		Name: "fig6",
+		Doc:  "2D Jacobi MLUPs/s vs N, planned vs plain placement",
+		Cfg:  o.Cfg,
+		Grid: exp.Grid{
+			exp.Strs("placement", "plain", "opt"),
+			exp.Ints("threads", threadAxis...),
+			exp.Int64s("n", o.JacobiNs...),
+		},
+		Keep: func(p exp.Point) bool {
+			if p.Str("placement") == "plain" {
+				return p.Int("threads") == 64
+			}
+			return optT[p.Int("threads")]
+		},
+		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+			n := p.Int64("n")
+			th := p.Int("threads")
 			sp := alloc.NewSpace()
-			params := segarray.Params{
-				ElemSize: phys.WordSize,
-				Align:    phys.PageSize,
-				SegAlign: rp.SegAlign,
-				Shift:    rp.Shift,
-			}
-			rows := make([]int64, n)
-			for i := range rows {
-				rows[i] = n
-			}
-			srcL := segarray.Plan(sp, params, rows)
-			dstL := segarray.Plan(sp, params, rows)
 			spec := jacobi.Spec{
 				N:      n,
-				Src:    func(i int64) phys.Addr { return srcL.Segs[i].Start },
-				Dst:    func(i int64) phys.Addr { return dstL.Segs[i].Start },
 				Sched:  omp.StaticChunk{Size: 1},
 				Sweeps: o.JacobiSweeps,
 			}
-			p := spec.Program(th)
-			p.WarmLines = o.warmLines()
-			r := m.Run(p)
-			s.Add(float64(n), r.MUPs)
-		}
-		out = append(out, s)
+			var series string
+			if p.Str("placement") == "plain" {
+				src := sp.Malloc(n * n * phys.WordSize)
+				dst := sp.Malloc(n * n * phys.WordSize)
+				spec.Src = jacobi.PlainRows(src, n)
+				spec.Dst = jacobi.PlainRows(dst, n)
+				series = fmt.Sprintf("%dT plain", th)
+			} else {
+				params := segarray.Params{
+					ElemSize: phys.WordSize,
+					Align:    phys.PageSize,
+					SegAlign: rp.SegAlign,
+					Shift:    rp.Shift,
+				}
+				rows := make([]int64, n)
+				for i := range rows {
+					rows[i] = n
+				}
+				srcL := segarray.Plan(sp, params, rows)
+				dstL := segarray.Plan(sp, params, rows)
+				spec.Src = func(i int64) phys.Addr { return srcL.Segs[i].Start }
+				spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
+				series = fmt.Sprintf("%dT", th)
+			}
+			r := runProg(cfg, spec.Program(th), o.warmLines())
+			return exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, nil
+		},
 	}
-	return out
+}
+
+// Fig6 regenerates Fig. 6 on the parallel engine.
+func Fig6(o Options) []stats.Series {
+	return exp.MustRun(o.Fig6Exp()).Series()
 }
 
 // ---- Fig. 7: lattice-Boltzmann ----------------------------------------------
 
-// Fig7 regenerates Fig. 7: LBM MLUPs/s versus cubic domain size for the
+// fig7Variant is one curve of Fig. 7.
+type fig7Variant struct {
+	name    string
+	layout  lbm.Layout
+	fused   bool
+	threads int
+}
+
+// fig7Variants maps the Fig. 7 curve names to their layout, fusion and
+// thread-count settings.
+var fig7Variants = []fig7Variant{
+	{"64T IJKv", lbm.IJKv, false, 64},
+	{"64T IvJK", lbm.IvJK, false, 64},
+	{"64T IvJK fused", lbm.IvJK, true, 64},
+	{"32T IvJK fused", lbm.IvJK, true, 32},
+}
+
+// Fig7Exp declares Fig. 7: LBM MLUPs/s versus cubic domain size for the
 // IJKv and IvJK layouts at 64 threads, the fused-loop IvJK variant, and
 // the fused variant at 32 threads.
-func Fig7(o Options) []stats.Series {
-	m := chip.New(o.Cfg)
-	type variant struct {
-		name    string
-		layout  lbm.Layout
-		fused   bool
-		threads int
+func (o Options) Fig7Exp() exp.Experiment {
+	names := make([]string, len(fig7Variants))
+	for i, v := range fig7Variants {
+		names[i] = v.name
 	}
-	variants := []variant{
-		{"64T IJKv", lbm.IJKv, false, 64},
-		{"64T IvJK", lbm.IvJK, false, 64},
-		{"64T IvJK fused", lbm.IvJK, true, 64},
-		{"32T IvJK fused", lbm.IvJK, true, 32},
-	}
-	out := make([]stats.Series, len(variants))
-	for vi, v := range variants {
-		out[vi].Name = v.name
-		for _, n := range o.LBMNs {
+	return exp.Experiment{
+		Name: "fig7",
+		Doc:  "D3Q19 LBM MLUPs/s vs domain edge for layout/fusion variants",
+		Cfg:  o.Cfg,
+		Grid: exp.Grid{
+			exp.Strs("variant", names...),
+			exp.Int64s("n", o.LBMNs...),
+		},
+		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+			name := p.Str("variant")
+			var v *fig7Variant
+			for i := range fig7Variants {
+				if fig7Variants[i].name == name {
+					v = &fig7Variants[i]
+				}
+			}
+			if v == nil {
+				return exp.Result{}, fmt.Errorf("unknown fig7 variant %q", name)
+			}
+			n := p.Int64("n")
 			sp := alloc.NewSpace()
-			oldB := sp.Malloc(lbm.GridBytes(n, v.layout))
-			newB := sp.Malloc(lbm.GridBytes(n, v.layout))
-			mask := sp.Malloc(lbm.MaskBytes(n))
 			spec := lbm.TraceSpec{
 				N: n, Layout: v.layout,
-				OldBase: oldB, NewBase: newB, MaskBase: mask,
-				Fused: v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
+				OldBase:  sp.Malloc(lbm.GridBytes(n, v.layout)),
+				NewBase:  sp.Malloc(lbm.GridBytes(n, v.layout)),
+				MaskBase: sp.Malloc(lbm.MaskBytes(n)),
+				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
-			p := spec.Program(v.threads)
-			p.WarmLines = o.warmLines()
-			r := m.Run(p)
-			out[vi].Add(float64(n), r.MUPs)
-		}
+			r := runProg(cfg, spec.Program(v.threads), o.warmLines())
+			return exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, nil
+		},
 	}
-	return out
+}
+
+// Fig7 regenerates Fig. 7 on the parallel engine.
+func Fig7(o Options) []stats.Series {
+	return exp.MustRun(o.Fig7Exp()).Series()
 }

@@ -23,6 +23,9 @@ func TestFig2Shape(t *testing.T) {
 
 // TestFig4Shape regenerates Fig. 4 at test scale and validates it.
 func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig. 4 sweep is slow; run without -short for the full shape check")
+	}
 	o := Small()
 	series := Fig4(o)
 	for _, s := range series {
@@ -61,7 +64,7 @@ func TestFig6Shape(t *testing.T) {
 // TestFig7Shape regenerates Fig. 7 at test scale and validates it.
 func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("LBM shape test is slow")
+		t.Skip("LBM shape test is slow; run without -short for the full shape check")
 	}
 	o := Small()
 	series := Fig7(o)

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// tiny shrinks the sweeps far below Small() — determinism does not need
+// figure-shaped data, just enough points to keep a pool of workers busy.
+func tiny() Options {
+	o := Small()
+	o.StreamN = 1 << 12
+	o.OffsetStep = 32
+	o.Fig5Ns = []int64{128, 2048, 1 << 14}
+	return o
+}
+
+// TestFigureJSONDeterminism is the end-to-end determinism regression for
+// the parallel engine: running the same figure experiment with jobs=1 and
+// jobs=8 must produce byte-identical JSON trajectories. The simulator's
+// event heap breaks timestamp ties by sequence number, so each point is
+// deterministic in isolation; this test pins the executor's obligation to
+// preserve that guarantee across the fan-out/collect path.
+func TestFigureJSONDeterminism(t *testing.T) {
+	o := tiny()
+	for _, e := range []exp.Experiment{o.Fig2Exp(), o.Fig5Exp(64)} {
+		one, err := exp.Runner{Jobs: 1}.Run(e)
+		if err != nil {
+			t.Fatalf("%s jobs=1: %v", e.Name, err)
+		}
+		many, err := exp.Runner{Jobs: 8}.Run(e)
+		if err != nil {
+			t.Fatalf("%s jobs=8: %v", e.Name, err)
+		}
+		b1, err := one.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bN, err := many.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, bN) {
+			t.Errorf("%s: jobs=1 and jobs=8 JSON differ (%d vs %d bytes)", e.Name, len(b1), len(bN))
+		}
+	}
+}

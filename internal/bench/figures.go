@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// Figure couples one declarative figure experiment with its presentation
+// metadata and the shape check encoding the paper's qualitative claims for
+// that figure. cmd/figures iterates this registry; adding a figure (or a
+// whole new scenario) is one more entry here plus its experiment
+// definition — no new sweep loop.
+type Figure struct {
+	Name   string // short id: "fig2" ... "fig7"
+	Title  string
+	XLabel string
+	Exp    exp.Experiment
+	Check  func([]stats.Series) error
+}
+
+// Figures returns the full figure registry at the given scale.
+func Figures(o Options) []Figure {
+	return []Figure{
+		{
+			Name:   "fig2",
+			Title:  "Fig. 2 (STREAM vs offset)",
+			XLabel: "offset_words",
+			Exp:    o.Fig2Exp(),
+			Check: func(s []stats.Series) error {
+				return CheckFig2(fig2FromSeries(s), o.OffsetStep)
+			},
+		},
+		{
+			Name:   "fig4",
+			Title:  "Fig. 4 (vector triad vs N)",
+			XLabel: "N",
+			Exp:    o.Fig4Exp(),
+			Check:  CheckFig4,
+		},
+		{
+			Name:   "fig5",
+			Title:  "Fig. 5 (segmented iterator overhead)",
+			XLabel: "N",
+			Exp:    o.Fig5Exp(64),
+			Check:  CheckFig5,
+		},
+		{
+			Name:   "fig6",
+			Title:  "Fig. 6 (2D Jacobi vs N)",
+			XLabel: "N",
+			Exp:    o.Fig6Exp(),
+			Check:  CheckFig6,
+		},
+		{
+			Name:   "fig7",
+			Title:  "Fig. 7 (LBM vs N)",
+			XLabel: "N",
+			Exp:    o.Fig7Exp(),
+			Check:  CheckFig7,
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// countBy tallies expanded points by a derived key.
+func countBy(pts []exp.Point, key func(exp.Point) string) map[string]int {
+	m := map[string]int{}
+	for _, p := range pts {
+		m[key(p)]++
+	}
+	return m
+}
+
+// TestFig2CopyPanelAlways64T pins the fixed-thread reference panels:
+// Fig. 2's copy sweep and Fig. 6's plain sweep always run at 64 threads,
+// even when 64 is not among the configured thread counts — and the triad
+// and optimized sweeps never gain a thread count the caller did not ask
+// for.
+func TestFig2CopyPanelAlways64T(t *testing.T) {
+	o := Small()
+	o.Fig2Threads = []int{8, 16}
+	nOff := int(o.OffsetMax/o.OffsetStep) + 1
+	got := countBy(o.Fig2Exp().Points(), func(p exp.Point) string {
+		return p.Str("kernel") + "/" + string(rune('0'+p.Int("threads")/8))
+	})
+	if got["copy/8"] != nOff { // threads 64 -> key '8'
+		t.Errorf("copy/64T has %d points, want %d", got["copy/8"], nOff)
+	}
+	for k, n := range got {
+		switch k {
+		case "triad/1", "triad/2", "copy/8":
+			if n != nOff {
+				t.Errorf("%s has %d points, want %d", k, n, nOff)
+			}
+		default:
+			t.Errorf("unexpected point group %s (%d points)", k, n)
+		}
+	}
+
+	o.JacobiThreads = []int{8, 16}
+	got = countBy(o.Fig6Exp().Points(), func(p exp.Point) string {
+		return p.Str("placement") + "/" + string(rune('0'+p.Int("threads")/8))
+	})
+	nN := len(o.JacobiNs)
+	if got["plain/8"] != nN {
+		t.Errorf("plain/64T has %d points, want %d", got["plain/8"], nN)
+	}
+	if got["opt/8"] != 0 {
+		t.Errorf("opt sweep gained 64T (%d points) without being configured", got["opt/8"])
+	}
+}

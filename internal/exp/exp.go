@@ -1,0 +1,259 @@
+// Package exp is the declarative parallel experiment engine behind every
+// figure harness and CLI sweep: an Experiment names a parameter grid and a
+// Run closure mapping one grid point to one measured Result; the Runner
+// fans the points out across a worker pool and collects the results in
+// deterministic grid order, so jobs=1 and jobs=N produce byte-identical
+// output. Outcomes convert to stats.Series for the existing CSV/plot
+// pipeline and marshal to canonical JSON for machine-readable trajectories
+// (BENCH_*.json).
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/chip"
+	"repro/internal/stats"
+)
+
+// Axis is one named dimension of a parameter grid. Values may be int,
+// int64, float64, string or bool; the typed accessors on Point convert
+// between the integer kinds.
+type Axis struct {
+	Name   string
+	Values []any
+}
+
+// Ints builds an int-valued axis.
+func Ints(name string, vs ...int) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, v)
+	}
+	return a
+}
+
+// Int64s builds an int64-valued axis.
+func Int64s(name string, vs ...int64) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, v)
+	}
+	return a
+}
+
+// Strs builds a string-valued axis.
+func Strs(name string, vs ...string) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, v)
+	}
+	return a
+}
+
+// Span64 builds an int64 axis covering start, start+step, ... up to but
+// not including stop.
+func Span64(name string, start, stop, step int64) Axis {
+	if step <= 0 {
+		panic(fmt.Sprintf("exp: non-positive step %d for axis %q", step, name))
+	}
+	a := Axis{Name: name}
+	for v := start; v < stop; v += step {
+		a.Values = append(a.Values, v)
+	}
+	return a
+}
+
+// Grid is an ordered set of axes; its cross product is the sweep, expanded
+// row-major with the first axis outermost.
+type Grid []Axis
+
+// Size returns the number of points in the full cross product.
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Point is one cell of an expanded grid. Index is the point's dense
+// position among the kept points, which is also its position in
+// Outcome.Points.
+type Point struct {
+	Index  int
+	Params map[string]any
+}
+
+// get panics with a clear message when an axis name is missing — that is a
+// harness bug, not a data condition.
+func (p Point) get(name string) any {
+	v, ok := p.Params[name]
+	if !ok {
+		panic(fmt.Sprintf("exp: point has no axis %q", name))
+	}
+	return v
+}
+
+// Int returns the named parameter as an int (accepting int or int64).
+func (p Point) Int(name string) int {
+	switch v := p.get(name).(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	}
+	panic(fmt.Sprintf("exp: axis %q is %T, not an integer", name, p.get(name)))
+}
+
+// Int64 returns the named parameter as an int64 (accepting int or int64).
+func (p Point) Int64(name string) int64 {
+	switch v := p.get(name).(type) {
+	case int:
+		return int64(v)
+	case int64:
+		return v
+	}
+	panic(fmt.Sprintf("exp: axis %q is %T, not an integer", name, p.get(name)))
+}
+
+// Float returns the named parameter as a float64 (accepting the integer
+// kinds too).
+func (p Point) Float(name string) float64 {
+	switch v := p.get(name).(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	panic(fmt.Sprintf("exp: axis %q is %T, not numeric", name, p.get(name)))
+}
+
+// Str returns the named parameter as a string.
+func (p Point) Str(name string) string {
+	if v, ok := p.get(name).(string); ok {
+		return v
+	}
+	panic(fmt.Sprintf("exp: axis %q is %T, not a string", name, p.get(name)))
+}
+
+// Expand returns every point of the cross product in deterministic
+// row-major order (first axis outermost), keeping only points accepted by
+// keep (nil keeps all). Indices are dense over the kept points.
+func (g Grid) Expand(keep func(Point) bool) []Point {
+	if len(g) == 0 {
+		return nil
+	}
+	pts := make([]Point, 0, g.Size())
+	idx := make([]int, len(g))
+	for {
+		params := make(map[string]any, len(g))
+		for ai, a := range g {
+			params[a.Name] = a.Values[idx[ai]]
+		}
+		p := Point{Index: len(pts), Params: params}
+		if keep == nil || keep(p) {
+			pts = append(pts, p)
+		}
+		// Odometer increment, last axis fastest.
+		ai := len(g) - 1
+		for ; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(g[ai].Values) {
+				break
+			}
+			idx[ai] = 0
+		}
+		if ai < 0 {
+			return pts
+		}
+	}
+}
+
+// Result is the measurement at one grid point: a curve label, an (x, y)
+// coordinate on that curve, and optional named extra metrics.
+type Result struct {
+	Series  string             `json:"series"`
+	X       float64            `json:"x"`
+	Y       float64            `json:"y"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Experiment is a declarative sweep: a parameter grid, an optional keep
+// predicate pruning the cross product, and a Run closure evaluating one
+// point on the given machine configuration. Run must be safe to call from
+// multiple goroutines (each call constructs its own chip.Machine and
+// address space) and must be deterministic in the point alone.
+type Experiment struct {
+	Name string
+	Doc  string
+	Cfg  chip.Config
+	Grid Grid
+	Keep func(Point) bool
+	Run  func(chip.Config, Point) (Result, error)
+}
+
+// Points expands the experiment's grid through its keep predicate.
+func (e Experiment) Points() []Point {
+	return e.Grid.Expand(e.Keep)
+}
+
+// PointResult pairs a point's parameters with its measured result.
+type PointResult struct {
+	Index  int            `json:"index"`
+	Params map[string]any `json:"params"`
+	Result Result         `json:"result"`
+}
+
+// Outcome is a completed sweep in deterministic point order.
+type Outcome struct {
+	Experiment string        `json:"experiment"`
+	Doc        string        `json:"doc,omitempty"`
+	Points     []PointResult `json:"points"`
+}
+
+// Series groups the outcome's points into labelled curves, ordered by
+// first appearance in grid order — exactly the series layout the bespoke
+// harness loops used to build.
+func (o Outcome) Series() []stats.Series {
+	var out []stats.Series
+	pos := map[string]int{}
+	for _, pr := range o.Points {
+		i, ok := pos[pr.Result.Series]
+		if !ok {
+			i = len(out)
+			pos[pr.Result.Series] = i
+			out = append(out, stats.Series{Name: pr.Result.Series})
+		}
+		out[i].Add(pr.Result.X, pr.Result.Y)
+	}
+	return out
+}
+
+// JSON marshals the outcome canonically (indented, map keys sorted by
+// encoding/json), so equal outcomes produce byte-identical files
+// regardless of worker count.
+func (o Outcome) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the canonical JSON trajectory to path, with "-"
+// meaning stdout — the one output convention every CLI shares.
+func (o Outcome) WriteJSON(path string) error {
+	b, err := o.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

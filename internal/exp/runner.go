@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Runner executes experiments on a pool of Jobs worker goroutines.
+// Jobs <= 0 means GOMAXPROCS. Results are always collected in grid order,
+// so the worker count never changes the outcome, only the wall time.
+type Runner struct {
+	Jobs int
+}
+
+// pointError records a failed point; Run reports the lowest-indexed one so
+// error messages are deterministic too.
+type pointError struct {
+	index int
+	err   error
+}
+
+// Run evaluates every kept point of the experiment and returns the
+// outcome in deterministic grid order. A panic inside the Run closure is
+// captured as an error rather than tearing down the pool. If any points
+// fail, the error describes the first one in grid order and the outcome
+// is discarded.
+func (r Runner) Run(e Experiment) (Outcome, error) {
+	if e.Run == nil {
+		return Outcome{}, fmt.Errorf("exp: experiment %q has no Run closure", e.Name)
+	}
+	pts := e.Points()
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(pts) {
+		jobs = len(pts)
+	}
+
+	results := make([]Result, len(pts))
+	var (
+		mu   sync.Mutex
+		errs []pointError
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := runPoint(e, pts[i])
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, pointError{i, err})
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range pts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].index < errs[b].index })
+		first := errs[0]
+		return Outcome{}, fmt.Errorf("exp: %s: point %d (%s): %w (%d of %d points failed)",
+			e.Name, first.index, describe(pts[first.index]), first.err, len(errs), len(pts))
+	}
+
+	out := Outcome{Experiment: e.Name, Doc: e.Doc, Points: make([]PointResult, len(pts))}
+	for i, p := range pts {
+		out.Points[i] = PointResult{Index: i, Params: p.Params, Result: results[i]}
+	}
+	return out, nil
+}
+
+// runPoint evaluates one point, converting a panic in the closure into an
+// error so a bad point cannot kill the whole sweep's worker.
+func runPoint(e Experiment, p Point) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run(e.Cfg, p)
+}
+
+// describe renders a point's parameters sorted by name, for error text.
+func describe(p Point) string {
+	names := make([]string, 0, len(p.Params))
+	for n := range p.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%v", n, p.Params[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Run executes the experiment with the default runner (GOMAXPROCS
+// workers).
+func Run(e Experiment) (Outcome, error) {
+	return Runner{}.Run(e)
+}
+
+// MustRun executes with the default runner and panics on error. The figure
+// harness closures never return errors, so failures here are harness bugs.
+func MustRun(e Experiment) Outcome {
+	o, err := Run(e)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
