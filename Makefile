@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench figures clean
+# The bench targets pipe go test into benchjson; pipefail makes a failing
+# benchmark run fail the target instead of vanishing into the pipe.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: ci fmt vet build test test-full bench bench-smoke figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -26,8 +31,19 @@ test:
 test-full:
 	$(GO) test ./...
 
+# bench runs the figure benchmarks and records the perf trajectory
+# (ns/op, allocs/op, simulated cycles and accesses per second) as
+# canonical JSON in BENCH_perf.json.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_perf.json
+
+# bench-smoke is the CI tier: one short benchmark iteration through the
+# same JSON pipeline, to catch benchmark and tooling build rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5SegmentedOverhead' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json
+	rm -f BENCH_smoke.json
 
 # figures regenerates the paper-scale figures in parallel.
 figures:

@@ -6,6 +6,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/bench"
 	"repro/internal/chip"
+	"repro/internal/exp"
 	"repro/internal/kernels"
 	"repro/internal/omp"
 	"repro/internal/phys"
@@ -19,27 +20,57 @@ import (
 
 func mean(ys []float64) float64 { return stats.Summarize(ys).Mean }
 
+// simTotals accumulates a sweep's simulation telemetry across benchmark
+// iterations and reports it in units that survive hardware changes:
+// simulated cycles and simulated L2 line accesses retired per wallclock
+// second.
+type simTotals struct {
+	cycles   int64
+	accesses int64
+}
+
+// run executes the experiment, folds its telemetry into the totals, and
+// returns the sweep's series.
+func (st *simTotals) run(e exp.Experiment) []stats.Series {
+	out := exp.MustRun(e)
+	c, a := out.Totals()
+	st.cycles += c
+	st.accesses += a
+	return out.Series()
+}
+
+func (st *simTotals) report(b *testing.B) {
+	secs := b.Elapsed().Seconds()
+	if secs <= 0 {
+		return
+	}
+	b.ReportMetric(float64(st.cycles)/secs, "simcycles/s")
+	b.ReportMetric(float64(st.accesses)/secs, "accesses/s")
+}
+
 // BenchmarkFig2StreamTriadOffsets regenerates the Fig. 2 offset sweep and
 // reports the bandwidth floor, ceiling and their ratio.
 func BenchmarkFig2StreamTriadOffsets(b *testing.B) {
 	o := bench.Small()
+	var st simTotals
 	for i := 0; i < b.N; i++ {
-		r := bench.Fig2(o)
+		r := bench.Fig2FromSeries(st.run(o.Fig2Exp()))
 		hi := r.Triad[len(r.Triad)-1]
 		s := stats.Summarize(hi.Y)
 		b.ReportMetric(s.Min, "floor-GB/s")
 		b.ReportMetric(s.Max, "ceiling-GB/s")
 		b.ReportMetric(s.Max/s.Min, "ceiling/floor")
 	}
+	st.report(b)
 }
 
 // BenchmarkFig4VectorTriadAlignment regenerates Fig. 4 and reports the
 // page-aligned worst case against the planned-offset optimum.
 func BenchmarkFig4VectorTriadAlignment(b *testing.B) {
 	o := bench.Small()
+	var st simTotals
 	for i := 0; i < b.N; i++ {
-		series := bench.Fig4(o)
-		for _, s := range series {
+		for _, s := range st.run(o.Fig4Exp()) {
 			switch s.Name {
 			case "align8k":
 				b.ReportMetric(mean(s.Y), "worst-GB/s")
@@ -48,27 +79,30 @@ func BenchmarkFig4VectorTriadAlignment(b *testing.B) {
 			}
 		}
 	}
+	st.report(b)
 }
 
 // BenchmarkFig5SegmentedOverhead regenerates Fig. 5 and reports the
 // relative overhead of segmented iterators at the largest N.
 func BenchmarkFig5SegmentedOverhead(b *testing.B) {
 	o := bench.Small()
+	var st simTotals
 	for i := 0; i < b.N; i++ {
-		series := bench.Fig5(o, 64)
+		series := st.run(o.Fig5Exp(64))
 		seg, plain := series[0], series[1]
 		n := seg.Len() - 1
 		b.ReportMetric((plain.Y[n]-seg.Y[n])/plain.Y[n]*100, "overhead-%")
 	}
+	st.report(b)
 }
 
 // BenchmarkFig6Jacobi regenerates Fig. 6 and reports the optimized and
 // plain 64-thread MLUPs/s.
 func BenchmarkFig6Jacobi(b *testing.B) {
 	o := bench.Small()
+	var st simTotals
 	for i := 0; i < b.N; i++ {
-		series := bench.Fig6(o)
-		for _, s := range series {
+		for _, s := range st.run(o.Fig6Exp()) {
 			switch s.Name {
 			case "64T":
 				b.ReportMetric(mean(s.Y), "opt-MLUPs")
@@ -77,15 +111,16 @@ func BenchmarkFig6Jacobi(b *testing.B) {
 			}
 		}
 	}
+	st.report(b)
 }
 
 // BenchmarkFig7LBM regenerates Fig. 7 and reports the fused IvJK level and
 // the thrash-size dip.
 func BenchmarkFig7LBM(b *testing.B) {
 	o := bench.Small()
+	var st simTotals
 	for i := 0; i < b.N; i++ {
-		series := bench.Fig7(o)
-		for _, s := range series {
+		for _, s := range st.run(o.Fig7Exp()) {
 			if s.Name == "64T IvJK fused" {
 				sm := stats.Summarize(s.Y)
 				b.ReportMetric(sm.Max, "peak-MLUPs")
@@ -93,6 +128,7 @@ func BenchmarkFig7LBM(b *testing.B) {
 			}
 		}
 	}
+	st.report(b)
 }
 
 // ---- ablations ---------------------------------------------------------------

@@ -128,6 +128,15 @@ func bwMetrics(r chip.Result) map[string]float64 {
 	}
 }
 
+// measured attaches the run's aggregate simulation telemetry (cycles, L2
+// accesses) to the point result; the telemetry never reaches the JSON
+// trajectories, only the benchmark throughput metrics.
+func measured(res exp.Result, r chip.Result) exp.Result {
+	res.Cycles = r.Cycles
+	res.Accesses = r.L2.Hits + r.L2.Misses
+	return res
+}
+
 // ---- Fig. 2: STREAM vs COMMON-block offset ---------------------------------
 
 // Fig2Result bundles the lower (triad) and upper (copy) panels.
@@ -172,23 +181,23 @@ func (o Options) Fig2Exp() exp.Experiment {
 			th := p.Int("threads")
 			off := p.Int64("offset")
 			r := runProg(cfg, o.streamProg(kind, off, th), o.warmLines())
-			return exp.Result{
+			return measured(exp.Result{
 				Series:  fmt.Sprintf("%s/%dT", p.Str("kernel"), th),
 				X:       float64(off),
 				Y:       r.GBps,
 				Metrics: bwMetrics(r),
-			}, nil
+			}, r), nil
 		},
 	}
 }
 
 // Fig2 regenerates Fig. 2 on the parallel engine.
 func Fig2(o Options) Fig2Result {
-	return fig2FromSeries(exp.MustRun(o.Fig2Exp()).Series())
+	return Fig2FromSeries(exp.MustRun(o.Fig2Exp()).Series())
 }
 
-// fig2FromSeries splits the flat series list back into the two panels.
-func fig2FromSeries(series []stats.Series) Fig2Result {
+// Fig2FromSeries splits the flat series list back into the two panels.
+func Fig2FromSeries(series []stats.Series) Fig2Result {
 	var res Fig2Result
 	for _, s := range series {
 		if strings.HasPrefix(s.Name, "copy/") {
@@ -284,7 +293,7 @@ func (o Options) Fig4Exp() exp.Experiment {
 				}
 			}
 			r := runProg(cfg, prog, o.warmLines())
-			return exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, nil
+			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
 }
@@ -342,7 +351,7 @@ func (o Options) Fig5Exp(threads int) exp.Experiment {
 				series = fmt.Sprintf("%dT non-segmented", threads)
 			}
 			r := runProg(cfg, prog, o.warmLines())
-			return exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, nil
+			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
 }
@@ -418,7 +427,7 @@ func (o Options) Fig6Exp() exp.Experiment {
 				series = fmt.Sprintf("%dT", th)
 			}
 			r := runProg(cfg, spec.Program(th), o.warmLines())
-			return exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, nil
+			return measured(exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
 }
@@ -484,7 +493,7 @@ func (o Options) Fig7Exp() exp.Experiment {
 				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
 			r := runProg(cfg, spec.Program(v.threads), o.warmLines())
-			return exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, nil
+			return measured(exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
 }

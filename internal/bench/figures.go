@@ -27,7 +27,7 @@ func Figures(o Options) []Figure {
 			XLabel: "offset_words",
 			Exp:    o.Fig2Exp(),
 			Check: func(s []stats.Series) error {
-				return CheckFig2(fig2FromSeries(s), o.OffsetStep)
+				return CheckFig2(Fig2FromSeries(s), o.OffsetStep)
 			},
 		},
 		{

@@ -52,22 +52,29 @@ type Result struct {
 	VictimDirty bool      // victim must be written back
 }
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU stamp
-}
-
 // Banked is a banked, set-associative, write-allocate, write-back cache
 // with LRU replacement. Bank selection is delegated to the machine's
-// address mapping so that the cache and the controllers stay consistent.
+// address mapping so that the cache and the controllers stay consistent;
+// the mapping is devirtualized at construction time (phys.Resolve), so the
+// common bit-field mappings cost no interface call per access.
+//
+// The tag store is a flat structure-of-arrays layout: a probe scans the
+// set's Ways contiguous tags (two cache lines for the 16-way T2 L2)
+// instead of striding over per-way records, and per-way valid/dirty flags
+// are bitmasks in one word per set. Building a cache is three large
+// allocations, not one tiny slice per set.
 type Banked struct {
 	cfg         Config
 	mapping     phys.Mapping
+	mapped      phys.Resolved
 	setsPerBank int
 	setShift    uint
-	sets        [][]way // [bank*setsPerBank + set][way]
+	tagShift    uint
+	bankInsert  bool     // bank bits sit directly above the line offset
+	tags        []uint64 // [set*Ways + way]
+	used        []uint64 // [set*Ways + way] LRU stamps
+	valid       []uint64 // per-set way bitmask
+	dirty       []uint64 // per-set way bitmask
 	clock       uint64
 	stats       Stats
 	bankStats   []Stats
@@ -87,6 +94,9 @@ func New(cfg Config, mapping phys.Mapping) *Banked {
 	if lines <= 0 || cfg.Ways <= 0 || int64(cfg.Ways) > lines {
 		panic(fmt.Sprintf("cache: impossible geometry %+v", cfg))
 	}
+	if cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache: associativity %d exceeds the 64-way limit of the bitmask tag store", cfg.Ways))
+	}
 	setsTotal := lines / int64(cfg.Ways)
 	if setsTotal%int64(cfg.Banks) != 0 {
 		panic(fmt.Sprintf("cache: %d sets do not divide across %d banks", setsTotal, cfg.Banks))
@@ -103,13 +113,19 @@ func New(cfg Config, mapping phys.Mapping) *Banked {
 	c := &Banked{
 		cfg:         cfg,
 		mapping:     mapping,
+		mapped:      phys.Resolve(mapping),
 		setsPerBank: int(perBank),
 		setShift:    setShift,
-		sets:        make([][]way, setsTotal),
+		tagShift:    setShift + uint(bits.Len(uint(perBank-1))),
+		tags:        make([]uint64, setsTotal*int64(cfg.Ways)),
+		used:        make([]uint64, setsTotal*int64(cfg.Ways)),
+		valid:       make([]uint64, setsTotal),
+		dirty:       make([]uint64, setsTotal),
 		bankStats:   make([]Stats, cfg.Banks),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Ways)
+	lineBits := uint64(bits.TrailingZeros64(uint64(cfg.LineSize)))
+	if fs, fm, ok := c.mapped.BankField(); ok && fs == lineBits && fm == uint64(cfg.Banks-1) {
+		c.bankInsert = true
 	}
 	return c
 }
@@ -120,11 +136,100 @@ func (c *Banked) Config() Config { return c.cfg }
 // SetsPerBank returns the number of sets in each bank.
 func (c *Banked) SetsPerBank() int { return c.setsPerBank }
 
-func (c *Banked) locate(line phys.Addr) (setIdx int, tag uint64) {
-	bank := c.mapping.Bank(line)
+// locate computes the bank, global set index and tag of a line with exactly
+// one bank computation — the mapping is consulted once per access, through
+// the devirtualized handle.
+func (c *Banked) locate(line phys.Addr) (bank, setIdx int, tag uint64) {
+	bank = c.mapped.Bank(line)
 	set := (uint64(line) >> c.setShift) & uint64(c.setsPerBank-1)
-	tag = uint64(line) >> (c.setShift + uint(bits.Len(uint(c.setsPerBank-1))))
-	return bank*c.setsPerBank + int(set), tag
+	return bank, bank*c.setsPerBank + int(set), uint64(line) >> c.tagShift
+}
+
+// Probe is the outcome of a non-mutating tag lookup: which bank serves the
+// line, whether it hit, and where the line lives (or would be installed).
+// It lets the chip fold the controller-queue NACK admission check and the
+// state-mutating access into a single tag-array scan: ProbeLine once,
+// decide, then Commit. A Probe is only valid until the next mutating access
+// to the cache.
+type Probe struct {
+	Hit  bool
+	Bank int
+	set  int32
+	way  int32 // index of the hit way; -1 on a miss
+	tag  uint64
+}
+
+// ProbeLine looks up the line containing addr without changing any cache
+// state (no LRU update, no fill, no counters).
+func (c *Banked) ProbeLine(addr phys.Addr) Probe {
+	line := phys.LineOf(addr)
+	bank, setIdx, tag := c.locate(line)
+	base := setIdx * c.cfg.Ways
+	tags := c.tags[base : base+c.cfg.Ways]
+	vm := c.valid[setIdx]
+	for i := range tags {
+		if tags[i] == tag && vm&(1<<uint(i)) != 0 {
+			return Probe{Hit: true, Bank: bank, set: int32(setIdx), way: int32(i), tag: tag}
+		}
+	}
+	return Probe{Bank: bank, set: int32(setIdx), way: -1, tag: tag}
+}
+
+// Commit applies the access described by a Probe: on a hit it touches LRU
+// and dirtiness; on a miss it installs the line over the LRU victim and
+// reports a dirty victim for writeback. The probe must come from the
+// immediately preceding ProbeLine with no intervening mutating access.
+func (c *Banked) Commit(p Probe, write bool) Result {
+	setIdx := int(p.set)
+	base := setIdx * c.cfg.Ways
+	c.clock++
+	if p.way >= 0 {
+		c.used[base+int(p.way)] = c.clock
+		if write {
+			c.dirty[setIdx] |= 1 << uint(p.way)
+		}
+		c.stats.Hits++
+		c.bankStats[p.Bank].Hits++
+		return Result{Hit: true}
+	}
+
+	// Miss: pick the victim with the semantics of the historical scan —
+	// the first invalid way at index >= 1 if any (the scan broke there
+	// before ever comparing stamps), else way 0 if invalid (its zero stamp
+	// beats every valid way's), else the LRU way. The two invalid cases
+	// reduce to bit tricks on the valid mask; only a genuinely full set
+	// pays the stamp scan.
+	vm := c.valid[setIdx]
+	used := c.used[base : base+c.cfg.Ways]
+	victim := 0
+	if inv := ^vm &^ 1 & (1<<uint(c.cfg.Ways) - 1); inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+	} else if vm&1 != 0 {
+		for i := 1; i < c.cfg.Ways; i++ {
+			if used[i] < used[victim] {
+				victim = i
+			}
+		}
+	}
+	res := Result{}
+	vbit := uint64(1) << uint(victim)
+	if vm&vbit != 0 && c.dirty[setIdx]&vbit != 0 {
+		res.VictimDirty = true
+		res.Victim = c.reconstruct(setIdx, c.tags[base+victim])
+		c.stats.Writebacks++
+		c.bankStats[p.Bank].Writebacks++
+	}
+	c.tags[base+victim] = p.tag
+	c.valid[setIdx] |= vbit
+	if write {
+		c.dirty[setIdx] |= vbit
+	} else {
+		c.dirty[setIdx] &^= vbit
+	}
+	used[victim] = c.clock
+	c.stats.Misses++
+	c.bankStats[p.Bank].Misses++
+	return res
 }
 
 // Access performs a write-allocate lookup of the line containing addr.
@@ -132,58 +237,28 @@ func (c *Banked) locate(line phys.Addr) (setIdx int, tag uint64) {
 // told whether a dirty victim must be written back to memory. write marks
 // the installed/updated line dirty.
 func (c *Banked) Access(addr phys.Addr, write bool) Result {
-	line := phys.LineOf(addr)
-	bank := c.mapping.Bank(line)
-	setIdx, tag := c.locate(line)
-	set := c.sets[setIdx]
-	c.clock++
+	return c.Commit(c.ProbeLine(addr), write)
+}
 
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].used = c.clock
-			if write {
-				set[i].dirty = true
-			}
-			c.stats.Hits++
-			c.bankStats[bank].Hits++
-			return Result{Hit: true}
-		}
+// PrefillSequential installs n consecutive lines starting at base, marking
+// them dirty if write is set. It is exactly equivalent to calling
+// Access(base+i*LineSize, write) for i in [0, n) — provided none of those
+// lines is already cached, which makes every lookup a guaranteed miss and
+// the hit scan provably dead, so it is skipped. Intended for warm-up
+// pre-fill of a freshly built cache, the one caller that satisfies the
+// precondition by construction.
+func (c *Banked) PrefillSequential(base phys.Addr, n int64, write bool) {
+	for i := int64(0); i < n; i++ {
+		line := phys.LineOf(base + phys.Addr(i)*phys.LineSize)
+		bank, setIdx, tag := c.locate(line)
+		c.Commit(Probe{Bank: bank, set: int32(setIdx), way: -1, tag: tag}, write)
 	}
-
-	// Miss: pick LRU victim.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].used < set[victim].used {
-			victim = i
-		}
-	}
-	res := Result{}
-	if set[victim].valid && set[victim].dirty {
-		res.VictimDirty = true
-		res.Victim = c.reconstruct(setIdx, set[victim].tag)
-		c.stats.Writebacks++
-		c.bankStats[bank].Writebacks++
-	}
-	set[victim] = way{tag: tag, valid: true, dirty: write, used: c.clock}
-	c.stats.Misses++
-	c.bankStats[bank].Misses++
-	return res
 }
 
 // Contains reports whether the line holding addr is currently cached,
 // without perturbing LRU state. Intended for tests and analyzers.
 func (c *Banked) Contains(addr phys.Addr) bool {
-	setIdx, tag := c.locate(phys.LineOf(addr))
-	for _, w := range c.sets[setIdx] {
-		if w.valid && w.tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.ProbeLine(addr).Hit
 }
 
 // reconstruct rebuilds a victim's line address from its set index and tag.
@@ -194,14 +269,18 @@ func (c *Banked) reconstruct(setIdx int, tag uint64) phys.Addr {
 	set := uint64(setIdx % c.setsPerBank)
 	setBits := uint(bits.Len(uint(c.setsPerBank - 1)))
 	addr := tag<<(c.setShift+setBits) | set<<c.setShift
-	// Re-insert the bank-selection bits. For the T2 mapping these are the
-	// bits immediately above the line offset; for hashed mappings the bank
-	// field is not address-recoverable, so we search the bank's aliases.
+	// Re-insert the bank-selection bits. For field mappings whose bank bits
+	// sit directly above the line offset (the T2), the bank index is the
+	// field value itself; for hashed mappings the bank field is not
+	// address-recoverable, so we search the bank's aliases.
 	lineBits := uint(bits.TrailingZeros64(uint64(c.cfg.LineSize)))
+	if c.bankInsert {
+		return phys.Addr(addr | uint64(bank)<<lineBits)
+	}
 	bankBits := c.setShift - lineBits
 	for b := uint64(0); b < 1<<bankBits; b++ {
 		cand := phys.Addr(addr | b<<lineBits)
-		if c.mapping.Bank(cand) == bank {
+		if c.mapped.Bank(cand) == bank {
 			return cand
 		}
 	}
@@ -231,11 +310,10 @@ func (c *Banked) ResetStats() {
 
 // Reset invalidates the cache and clears counters.
 func (c *Banked) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = way{}
-		}
-	}
+	clear(c.tags)
+	clear(c.used)
+	clear(c.valid)
+	clear(c.dirty)
 	c.clock = 0
 	c.stats = Stats{}
 	for i := range c.bankStats {

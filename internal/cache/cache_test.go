@@ -191,3 +191,96 @@ func TestBadGeometryPanics(t *testing.T) {
 	}()
 	New(Config{SizeBytes: 1 << 20, Ways: 4, LineSize: 64, Banks: 4}, phys.T2Mapping{})
 }
+
+// countingMapping wraps the T2 bit layout behind a pure interface (it does
+// not implement phys.FieldMapper), counting every Bank call so tests can
+// assert how often the cache consults the mapping.
+type countingMapping struct {
+	bankCalls *int64
+}
+
+func (m countingMapping) Controller(a phys.Addr) int { return int(a>>7) & 3 }
+func (m countingMapping) Bank(a phys.Addr) int       { *m.bankCalls++; return int(a>>6) & 7 }
+func (m countingMapping) Controllers() int           { return 4 }
+func (m countingMapping) Banks() int                 { return 8 }
+func (m countingMapping) Period() int64              { return 512 }
+func (m countingMapping) Name() string               { return "counting" }
+
+// TestOneBankComputationPerAccess pins the single-probe contract: an
+// Access (and a ProbeLine+Commit pair) consults the mapping's Bank exactly
+// once, never twice. Clean read misses only, so the reconstruct path (which
+// legitimately probes candidate banks for hashed mappings) stays out of
+// the count.
+func TestOneBankComputationPerAccess(t *testing.T) {
+	var calls int64
+	c := New(small(), countingMapping{bankCalls: &calls})
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.Access(phys.Addr(i)*64, false)
+	}
+	if calls != n {
+		t.Errorf("%d accesses made %d Bank computations, want exactly one each", n, calls)
+	}
+
+	calls = 0
+	p := c.ProbeLine(0x12340)
+	if calls != 1 {
+		t.Fatalf("ProbeLine made %d Bank computations, want 1", calls)
+	}
+	c.Commit(p, false)
+	if calls != 1 {
+		t.Errorf("ProbeLine+Commit made %d Bank computations, want 1 total", calls)
+	}
+}
+
+// TestProbeCommitMatchesAccess drives two identical caches with the same
+// random access stream, one through Access and one through the split
+// ProbeLine/Commit path, and requires identical results and state.
+func TestProbeCommitMatchesAccess(t *testing.T) {
+	f := func(raw []uint16, writes []bool) bool {
+		a := New(small(), phys.T2Mapping{})
+		b := New(small(), phys.T2Mapping{})
+		n := len(raw)
+		if len(writes) < n {
+			n = len(writes)
+		}
+		for i := 0; i < n; i++ {
+			addr := phys.Addr(raw[i]) * 64
+			ra := a.Access(addr, writes[i])
+			p := b.ProbeLine(addr)
+			if p.Hit != b.Contains(addr) {
+				return false
+			}
+			rb := b.Commit(p, writes[i])
+			if ra != rb {
+				return false
+			}
+		}
+		return a.Stats() == b.Stats()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccessPathDoesNotAllocate is the allocation regression for the L2
+// hot path: steady-state probes, hits, misses and dirty evictions must all
+// be allocation-free.
+func TestAccessPathDoesNotAllocate(t *testing.T) {
+	c := New(small(), phys.T2Mapping{})
+	// Warm past the compulsory region so the measured loop sees hits,
+	// misses and dirty writebacks.
+	for i := 0; i < 4096; i++ {
+		c.Access(phys.Addr(i)*64, i%3 == 0)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		addr := phys.Addr(i%6000) * 64
+		p := c.ProbeLine(addr)
+		c.Commit(p, i%2 == 0)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("access path allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -189,6 +189,12 @@ type strand struct {
 	sbPos  int
 }
 
+// evStep is the single typed-event kind of the run loop: resume strand arg.
+// Every wakeup — load return, store-buffer drain, NACK retry, compute
+// completion, unpark — is this event, so scheduling one is allocation-free
+// (see the sim package's engine contract).
+const evStep sim.Kind = 1
+
 type runState struct {
 	cfg      Config
 	eng      sim.Engine
@@ -196,6 +202,7 @@ type runState struct {
 	mc       *mem.System
 	cores    *cpu.Cores
 	banks    []sim.Cursor
+	strands  []*strand
 	units    int64
 	repBytes int64
 	finish   sim.Time
@@ -207,10 +214,15 @@ type runState struct {
 	retryStall   int64
 	retries      int64
 
-	// Run-ahead window state.
+	// Run-ahead window state. Because item counts only increase by one and
+	// the window bounds every active strand's count to
+	// [minItems, minItems+runAhead], a ring of runAhead+1 frequency buckets
+	// (indexed by count mod window size) tracks the team minimum in O(1)
+	// per completion instead of an O(threads) rescan.
 	runAhead int64
-	counts   []int64 // items completed per strand; -1 marks retired
-	minItems int64   // min over active strands
+	window   []int32 // window[v % len]: active strands with exactly v items
+	active   int     // strands not yet retired
+	minItems int64   // min over active strands; -1 once all retired
 	parked   []*strand
 }
 
@@ -219,29 +231,43 @@ type runState struct {
 func (rs *runState) bumpItems(s *strand) {
 	old := s.items
 	s.items++
-	rs.counts[s.id] = s.items
-	if rs.runAhead > 0 && old == rs.minItems {
-		rs.recomputeMin()
+	if rs.runAhead <= 0 {
+		return
+	}
+	w := int64(len(rs.window))
+	rs.window[old%w]--
+	rs.window[s.items%w]++
+	if old == rs.minItems && rs.window[old%w] == 0 {
+		rs.advanceMin()
 	}
 }
 
 // retire removes a finished strand from run-ahead accounting.
 func (rs *runState) retire(s *strand) {
-	rs.counts[s.id] = -1
-	if rs.runAhead > 0 {
-		rs.recomputeMin()
+	if rs.runAhead <= 0 {
+		return
+	}
+	rs.window[s.items%int64(len(rs.window))]--
+	rs.active--
+	if s.items == rs.minItems {
+		rs.advanceMin()
 	}
 }
 
-func (rs *runState) recomputeMin() {
-	min := int64(-1)
-	for _, c := range rs.counts {
-		if c < 0 {
-			continue
+// advanceMin slides minItems forward to the next occupied bucket (at most
+// runAhead steps away) and wakes parked strands on any change.
+func (rs *runState) advanceMin() {
+	if rs.active == 0 {
+		if rs.minItems != -1 {
+			rs.minItems = -1
+			rs.wakeParked()
 		}
-		if min < 0 || c < min {
-			min = c
-		}
+		return
+	}
+	w := int64(len(rs.window))
+	min := rs.minItems
+	for rs.window[min%w] == 0 {
+		min++
 	}
 	if min != rs.minItems {
 		rs.minItems = min
@@ -255,10 +281,10 @@ func (rs *runState) wakeParked() {
 	}
 	ps := rs.parked
 	rs.parked = rs.parked[:0]
+	now := rs.eng.Now()
 	for _, p := range ps {
 		p.parked = false
-		sp := p
-		rs.eng.At(rs.eng.Now(), func() { rs.step(sp) })
+		rs.eng.Schedule(now, evStep, int32(p.id))
 	}
 }
 
@@ -268,21 +294,14 @@ func (rs *runState) overWindow(s *strand) bool {
 	return rs.runAhead > 0 && rs.minItems >= 0 && s.items-rs.minItems >= rs.runAhead
 }
 
-// nackRetry reports whether the access would miss into a full controller
-// queue at time t; if so, the strand must back off and retry.
-func (rs *runState) nackRetry(t sim.Time, addr phys.Addr) bool {
-	line := phys.LineOf(addr)
-	return !rs.l2.Contains(line) && rs.mc.Full(t, line)
-}
-
 // load performs one demand line read beginning at time t and returns the
-// time the data is back at the strand.
-func (rs *runState) load(t sim.Time, addr phys.Addr) sim.Time {
-	line := phys.LineOf(addr)
+// time the data is back at the strand. The probe carries the single tag
+// lookup (and bank computation) already performed by step's admission
+// check; Commit finishes the access without rescanning.
+func (rs *runState) load(t sim.Time, line phys.Addr, p cache.Probe) sim.Time {
 	arrive := t + rs.cfg.XbarLatency
-	bank := rs.cfg.Mapping.Bank(line)
-	bankStart, bankDone := rs.banks[bank].Acquire(arrive, rs.cfg.L2BankService)
-	res := rs.l2.Access(line, false)
+	bankStart, bankDone := rs.banks[p.Bank].Acquire(arrive, rs.cfg.L2BankService)
+	res := rs.l2.Commit(p, false)
 	var dataAt sim.Time
 	if res.Hit {
 		dataAt = bankStart + rs.cfg.L2HitLatency
@@ -302,12 +321,10 @@ func (rs *runState) load(t sim.Time, addr phys.Addr) sim.Time {
 // for L2 bank occupancy (and, via the caller, for store-buffer space); on a
 // miss the read-for-ownership fill proceeds asynchronously. The returned
 // times are (strand-visible completion, fill completion).
-func (rs *runState) store(t sim.Time, addr phys.Addr) (proceed, fill sim.Time) {
-	line := phys.LineOf(addr)
+func (rs *runState) store(t sim.Time, line phys.Addr, p cache.Probe) (proceed, fill sim.Time) {
 	arrive := t + rs.cfg.XbarLatency
-	bank := rs.cfg.Mapping.Bank(line)
-	_, bankDone := rs.banks[bank].Acquire(arrive, rs.cfg.L2BankService)
-	res := rs.l2.Access(line, true)
+	_, bankDone := rs.banks[p.Bank].Acquire(arrive, rs.cfg.L2BankService)
+	res := rs.l2.Commit(p, true)
 	fill = bankDone
 	if !res.Hit {
 		fill = rs.mc.Read(bankDone, line)
@@ -347,10 +364,14 @@ func (rs *runState) step(s *strand) {
 		}
 		for s.accIdx < len(s.item.Acc) {
 			a := s.item.Acc[s.accIdx]
-			if rs.nackRetry(t, a.Addr) {
+			line := phys.LineOf(a.Addr)
+			// One tag-array probe serves both the NACK admission check and,
+			// via Commit inside load/store, the access itself.
+			probe := rs.l2.ProbeLine(line)
+			if !probe.Hit && rs.mc.Full(t, line) {
 				rs.retryStall += rs.cfg.RetryDelay
 				rs.retries++
-				rs.eng.At(t+rs.cfg.RetryDelay, func() { rs.step(s) })
+				rs.eng.Schedule(t+rs.cfg.RetryDelay, evStep, int32(s.id))
 				return
 			}
 			if a.Write {
@@ -358,10 +379,10 @@ func (rs *runState) step(s *strand) {
 				// fill lands if all entries are in flight.
 				if oldest := s.sb[s.sbPos]; oldest > t {
 					rs.storeStall += oldest - t
-					rs.eng.At(oldest, func() { rs.step(s) })
+					rs.eng.Schedule(oldest, evStep, int32(s.id))
 					return
 				}
-				proceed, fill := rs.store(t, a.Addr)
+				proceed, fill := rs.store(t, line, probe)
 				s.sb[s.sbPos] = fill
 				s.sbPos = (s.sbPos + 1) % len(s.sb)
 				s.accIdx++
@@ -370,10 +391,10 @@ func (rs *runState) step(s *strand) {
 			}
 			if len(s.slots) <= 1 {
 				// Single outstanding miss: block until the data returns.
-				done := rs.load(t, a.Addr)
+				done := rs.load(t, line, probe)
 				s.accIdx++
 				rs.loadStall += done - t
-				rs.eng.At(done, func() { rs.step(s) })
+				rs.eng.Schedule(done, evStep, int32(s.id))
 				return
 			}
 			// MSHR ablation: issue into a free slot, or block until the
@@ -386,10 +407,10 @@ func (rs *runState) step(s *strand) {
 			}
 			if s.slots[best] > t {
 				rs.loadStall += s.slots[best] - t
-				rs.eng.At(s.slots[best], func() { rs.step(s) })
+				rs.eng.Schedule(s.slots[best], evStep, int32(s.id))
 				return
 			}
-			s.slots[best] = rs.load(t, a.Addr)
+			s.slots[best] = rs.load(t, line, probe)
 			s.accIdx++
 		}
 		if len(s.slots) > 1 {
@@ -402,7 +423,7 @@ func (rs *runState) step(s *strand) {
 			}
 			if max > t {
 				rs.loadStall += max - t
-				rs.eng.At(max, func() { rs.step(s) })
+				rs.eng.Schedule(max, evStep, int32(s.id))
 				return
 			}
 		}
@@ -413,7 +434,7 @@ func (rs *runState) step(s *strand) {
 		rs.bumpItems(s)
 		s.active = false
 		if tc > t {
-			rs.eng.At(tc, func() { rs.step(s) })
+			rs.eng.Schedule(tc, evStep, int32(s.id))
 			return
 		}
 	}
@@ -436,17 +457,20 @@ func (m *Machine) Run(prog *trace.Program) Result {
 		banks:    make([]sim.Cursor, m.cfg.Mapping.Banks()),
 		running:  n,
 		runAhead: m.cfg.RunAhead,
-		counts:   make([]int64, n),
+	}
+	if rs.runAhead > 0 {
+		rs.window = make([]int32, rs.runAhead+1)
+		rs.window[0] = int32(n) // every strand starts at 0 completed items
+		rs.active = n
 	}
 	// Pre-warm: fill the L2 with dirty lines of an address range no kernel
 	// uses, so the first sweep already evicts and writes back at the
 	// steady-state rate.
 	const warmBase phys.Addr = 1 << 40
-	for i := int64(0); i < prog.WarmLines; i++ {
-		rs.l2.Access(warmBase+phys.Addr(i*phys.LineSize), true)
-	}
+	rs.l2.PrefillSequential(warmBase, prog.WarmLines, true)
 	rs.l2.ResetStats()
-	strands := make([]*strand, n)
+	rs.strands = make([]*strand, n)
+	rs.eng.SetHandler(func(_ sim.Kind, arg int32) { rs.step(rs.strands[arg]) })
 	for t := 0; t < n; t++ {
 		core, group := m.cfg.Place(t)
 		s := &strand{id: t, gen: prog.Gens[t], core: core, group: group,
@@ -454,8 +478,8 @@ func (m *Machine) Run(prog *trace.Program) Result {
 		if m.cfg.MSHRPerStrand > 1 {
 			s.slots = make([]sim.Time, m.cfg.MSHRPerStrand)
 		}
-		strands[t] = s
-		rs.eng.At(0, func() { rs.step(s) })
+		rs.strands[t] = s
+		rs.eng.Schedule(0, evStep, int32(t))
 	}
 	rs.eng.Run()
 	if rs.running != 0 {

@@ -268,3 +268,56 @@ func TestTooManyThreadsPanics(t *testing.T) {
 	}()
 	m.Run(prog(gens...))
 }
+
+// marching generates items streaming loads and a store across memory — a
+// synthetic triad that exercises misses, dirty evictions, NACK retries and
+// the run-ahead window. Its Next never allocates after the first item.
+type marching struct {
+	n    int
+	pos  int
+	addr phys.Addr
+}
+
+func (g *marching) Next(it *trace.Item) bool {
+	if g.pos >= g.n {
+		return false
+	}
+	g.pos++
+	it.Acc = append(it.Acc,
+		trace.Access{Addr: g.addr},
+		trace.Access{Addr: g.addr + 1<<22},
+		trace.Access{Addr: g.addr + 2<<22, Write: true})
+	g.addr += phys.LineSize
+	it.Demand = cpu.Demand{MemOps: 3, Flops: 2, IntOps: 1}
+	it.Units = 8
+	it.RepBytes = 24
+	return true
+}
+
+// TestRunLoopAllocationsDoNotScaleWithWork is the allocation regression
+// for the steady-state run loop: quadrupling the simulated work must not
+// change the allocation count, because every per-event and per-access cost
+// (typed wakeups, single-probe L2 path) is allocation-free. Only fixed
+// per-run setup (cache arrays, strands, program plumbing) may allocate.
+func TestRunLoopAllocationsDoNotScaleWithWork(t *testing.T) {
+	run := func(items int) func() {
+		return func() {
+			gens := make([]trace.Generator, 16)
+			for i := range gens {
+				gens[i] = &marching{n: items, addr: phys.Addr(i) << 24}
+			}
+			p := prog(gens...)
+			p.WarmLines = 1024
+			New(Default()).Run(p)
+		}
+	}
+	const rounds = 5
+	base := testing.AllocsPerRun(rounds, run(250))
+	big := testing.AllocsPerRun(rounds, run(1000))
+	// 16 strands × 750 extra items × 3 accesses would be tens of thousands
+	// of allocations if the event or access path regressed to closures or
+	// boxing; allow a small fixed slack for runtime noise.
+	if delta := big - base; delta > 64 {
+		t.Errorf("4x work grew run allocations by %.0f (from %.0f to %.0f); hot path is no longer allocation-free", delta, base, big)
+	}
+}

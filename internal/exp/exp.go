@@ -180,6 +180,14 @@ type Result struct {
 	X       float64            `json:"x"`
 	Y       float64            `json:"y"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Telemetry: aggregate simulation counters for the point, deliberately
+	// excluded from JSON so BENCH_*.json trajectories stay byte-stable.
+	// The benchmark harness divides their sweep totals by wallclock to
+	// report hardware-portable throughput (simulated cycles per second,
+	// simulated accesses per second).
+	Cycles   int64 `json:"-"`
+	Accesses int64 `json:"-"`
 }
 
 // Experiment is a declarative sweep: a parameter grid, an optional keep
@@ -231,6 +239,17 @@ func (o Outcome) Series() []stats.Series {
 		out[i].Add(pr.Result.X, pr.Result.Y)
 	}
 	return out
+}
+
+// Totals sums the non-serialized telemetry over every point: simulated
+// cycles and simulated line accesses. Zero for outcomes whose experiments
+// do not populate telemetry.
+func (o Outcome) Totals() (cycles, accesses int64) {
+	for _, pr := range o.Points {
+		cycles += pr.Result.Cycles
+		accesses += pr.Result.Accesses
+	}
+	return cycles, accesses
 }
 
 // JSON marshals the outcome canonically (indented, map keys sorted by

@@ -54,11 +54,14 @@ type controller struct {
 	stats CtlStats
 }
 
-// System is the set of memory controllers behind the L2.
+// System is the set of memory controllers behind the L2. The address
+// mapping is devirtualized at construction time (phys.Resolve), so the
+// per-request controller selection in Full/Read/Write is an inlined bit
+// extraction for the common field mappings.
 type System struct {
-	cfg     Config
-	mapping phys.Mapping
-	ctls    []controller
+	cfg    Config
+	mapped phys.Resolved
+	ctls   []controller
 }
 
 // New builds a controller system with one controller per mapping target.
@@ -66,7 +69,7 @@ func New(cfg Config, mapping phys.Mapping) *System {
 	if cfg.ReadService <= 0 || cfg.WriteService <= 0 || cfg.Latency < 0 || cfg.WriteCouple < 0 {
 		panic(fmt.Sprintf("mem: invalid config %+v", cfg))
 	}
-	return &System{cfg: cfg, mapping: mapping, ctls: make([]controller, mapping.Controllers())}
+	return &System{cfg: cfg, mapped: phys.Resolve(mapping), ctls: make([]controller, mapping.Controllers())}
 }
 
 // Config returns the timing parameters.
@@ -78,7 +81,7 @@ func (s *System) Full(now sim.Time, addr phys.Addr) bool {
 	if s.cfg.QueueDepth <= 0 {
 		return false
 	}
-	c := &s.ctls[s.mapping.Controller(addr)]
+	c := &s.ctls[s.mapped.Controller(addr)]
 	backlog := c.north.FreeAt() - now
 	return backlog >= s.cfg.QueueDepth*s.cfg.ReadService
 }
@@ -86,7 +89,7 @@ func (s *System) Full(now sim.Time, addr phys.Addr) bool {
 // Read issues a demand or RFO line read arriving at the controller at time
 // now and returns the time at which the data is back at the L2.
 func (s *System) Read(now sim.Time, addr phys.Addr) sim.Time {
-	c := &s.ctls[s.mapping.Controller(addr)]
+	c := &s.ctls[s.mapped.Controller(addr)]
 	_, done := c.north.Acquire(now, s.cfg.ReadService)
 	c.stats.Reads++
 	c.stats.BusyCycles += s.cfg.ReadService
@@ -98,7 +101,7 @@ func (s *System) Read(now sim.Time, addr phys.Addr) sim.Time {
 // the northbound channel. The southbound completion time is returned for
 // tests.
 func (s *System) Write(now sim.Time, addr phys.Addr) sim.Time {
-	c := &s.ctls[s.mapping.Controller(addr)]
+	c := &s.ctls[s.mapped.Controller(addr)]
 	_, done := c.south.Acquire(now, s.cfg.WriteService)
 	if s.cfg.WriteCouple > 0 {
 		c.north.Acquire(now, s.cfg.WriteCouple)

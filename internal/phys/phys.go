@@ -153,8 +153,109 @@ func (SingleMapping) Period() int64 { return LineSize }
 // Name returns "single".
 func (SingleMapping) Name() string { return "single" }
 
+// FieldMapper is the optional fast-path contract for mappings whose
+// controller and bank are pure bit fields of the address. A mapping that
+// implements it lets Resolve extract a shift/mask pair, so the per-access
+// Bank/Controller computations in the cache and memory models compile to
+// two inlined integer operations instead of an interface call. Hashed
+// mappings (XOR folds, randomized interleaves) simply do not implement it
+// and keep the interface path.
+type FieldMapper interface {
+	// Fields returns the bit fields such that
+	//	Bank(a)       == int(uint64(a) >> bankShift & bankMask)
+	//	Controller(a) == int(uint64(a) >> ctlShift & ctlMask)
+	// for every address. ok reports whether the fields are valid; a false
+	// ok forces the interface fallback.
+	Fields() (bankShift, bankMask, ctlShift, ctlMask uint64, ok bool)
+}
+
+// Fields returns the T2 bit fields: bank = bits 8:6, controller = bits 8:7.
+func (T2Mapping) Fields() (uint64, uint64, uint64, uint64, bool) {
+	return LineShift, 7, LineShift + 1, 3, true
+}
+
+// Fields returns the degenerate all-zero fields.
+func (SingleMapping) Fields() (uint64, uint64, uint64, uint64, bool) {
+	return 0, 0, 0, 0, true
+}
+
+// Resolved is a devirtualized mapping handle, bound once at model
+// construction time. For FieldMapper mappings, Bank and Controller are
+// branch-predictable shift/mask extractions that the compiler inlines into
+// the cache and controller hot loops; for all other mappings they fall
+// back to the Mapping interface. Resolve validates the declared fields
+// against the interface methods, so a lying FieldMapper cannot silently
+// diverge from the model it claims to accelerate.
+type Resolved struct {
+	m         Mapping
+	fast      bool
+	bankShift uint64
+	bankMask  uint64
+	ctlShift  uint64
+	ctlMask   uint64
+}
+
+// Resolve binds m into a devirtualized handle. It panics if m declares bit
+// fields that disagree with its Bank/Controller methods anywhere in the
+// validation windows (one low window and one high window, covering several
+// interleave periods each).
+func Resolve(m Mapping) Resolved {
+	r := Resolved{m: m}
+	fm, ok := m.(FieldMapper)
+	if !ok {
+		return r
+	}
+	bs, bm, cs, cm, ok := fm.Fields()
+	if !ok {
+		return r
+	}
+	r.fast, r.bankShift, r.bankMask, r.ctlShift, r.ctlMask = true, bs, bm, cs, cm
+	span := m.Period() * 4
+	if span < 4*PageSize {
+		span = 4 * PageSize
+	}
+	for _, base := range []Addr{0, 1 << 40} {
+		for off := Addr(0); off < Addr(span); off += LineSize {
+			a := base + off
+			if r.Bank(a) != m.Bank(a) || r.Controller(a) != m.Controller(a) {
+				panic(fmt.Sprintf("phys: mapping %q declares bit fields inconsistent with its methods at address %#x", m.Name(), uint64(a)))
+			}
+		}
+	}
+	return r
+}
+
+// Bank returns the L2 bank index for the line containing a.
+func (r Resolved) Bank(a Addr) int {
+	if r.fast {
+		return int(uint64(a) >> r.bankShift & r.bankMask)
+	}
+	return r.m.Bank(a)
+}
+
+// Controller returns the memory-controller index for the line containing a.
+func (r Resolved) Controller(a Addr) int {
+	if r.fast {
+		return int(uint64(a) >> r.ctlShift & r.ctlMask)
+	}
+	return r.m.Controller(a)
+}
+
+// Mapping returns the underlying mapping.
+func (r Resolved) Mapping() Mapping { return r.m }
+
+// BankField returns the bank bit field when the fast path is active.
+func (r Resolved) BankField() (shift, mask uint64, ok bool) {
+	return r.bankShift, r.bankMask, r.fast
+}
+
+// Fast reports whether the handle uses the bit-field fast path.
+func (r Resolved) Fast() bool { return r.fast }
+
 var (
-	_ Mapping = T2Mapping{}
-	_ Mapping = XORMapping{}
-	_ Mapping = SingleMapping{}
+	_ Mapping     = T2Mapping{}
+	_ Mapping     = XORMapping{}
+	_ Mapping     = SingleMapping{}
+	_ FieldMapper = T2Mapping{}
+	_ FieldMapper = SingleMapping{}
 )

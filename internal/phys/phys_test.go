@@ -136,3 +136,49 @@ func TestLineOf(t *testing.T) {
 		t.Errorf("LineIndex(0x80) = %d", LineIndex(0x80))
 	}
 }
+
+// lyingMapping declares bank bit fields that contradict its Bank method;
+// Resolve must refuse it rather than let the fast path silently diverge.
+type lyingMapping struct{ T2Mapping }
+
+func (lyingMapping) Fields() (uint64, uint64, uint64, uint64, bool) {
+	return LineShift + 1, 7, LineShift + 1, 3, true // bank field off by one bit
+}
+
+func TestResolveFastPathMatchesInterface(t *testing.T) {
+	for _, m := range []Mapping{T2Mapping{}, SingleMapping{}, XORMapping{}} {
+		r := Resolve(m)
+		for _, base := range []Addr{0, 1 << 21, 1 << 40} {
+			for off := Addr(0); off < 4096; off += LineSize {
+				a := base + off
+				if r.Bank(a) != m.Bank(a) {
+					t.Fatalf("%s: Resolved.Bank(%#x) = %d, interface says %d", m.Name(), uint64(a), r.Bank(a), m.Bank(a))
+				}
+				if r.Controller(a) != m.Controller(a) {
+					t.Fatalf("%s: Resolved.Controller(%#x) = %d, interface says %d", m.Name(), uint64(a), r.Controller(a), m.Controller(a))
+				}
+			}
+		}
+	}
+}
+
+func TestResolveFastPathSelection(t *testing.T) {
+	if !Resolve(T2Mapping{}).Fast() {
+		t.Error("T2Mapping should resolve to the bit-field fast path")
+	}
+	if !Resolve(SingleMapping{}).Fast() {
+		t.Error("SingleMapping should resolve to the bit-field fast path")
+	}
+	if Resolve(XORMapping{}).Fast() {
+		t.Error("XORMapping must fall back to the interface path")
+	}
+}
+
+func TestResolveRejectsLyingFieldMapper(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Resolve accepted a FieldMapper whose fields contradict its methods")
+		}
+	}()
+	Resolve(lyingMapping{})
+}

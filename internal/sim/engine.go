@@ -7,48 +7,59 @@
 // requirement for the reproduction: identical inputs must produce identical
 // cycle counts, so ties between events scheduled for the same cycle are
 // broken by insertion sequence number.
+//
+// # Engine contract
+//
+// The engine supports two event forms that share one priority queue and one
+// sequence-number space:
+//
+//   - Typed events (Schedule): a plain {kind, arg} record dispatched through
+//     the handler installed with SetHandler. This is the hot path — pushing
+//     a typed event is a slice append plus a sift-up, with no closure, no
+//     interface boxing, and no per-event heap allocation. The chip's run
+//     loop schedules every strand wakeup this way, so steady-state
+//     simulation allocates nothing per event.
+//   - Closure events (At/After): an arbitrary func(). Convenient for tests
+//     and cold setup paths; each call allocates its closure as usual.
+//
+// Both forms execute strictly in (time, sequence) order. Because the
+// sequence number is a strict tie-break, replacing a closure event with a
+// typed event scheduled at the same point in the program preserves the
+// execution order bit-for-bit — which is how the typed rewrite of the chip
+// run loop keeps every figure byte-identical.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in core clock cycles.
 type Time = int64
 
+// Kind identifies a class of typed event; its meaning belongs entirely to
+// the engine user, which interprets it in the installed Handler.
+type Kind uint8
+
+// Handler dispatches one typed event. It is installed once with SetHandler
+// and invoked by Step for every event scheduled through Schedule.
+type Handler func(kind Kind, arg int32)
+
+// event is one scheduled entry. A nil fn marks a typed event carried by
+// (kind, arg); a non-nil fn is a legacy closure event.
 type event struct {
 	when Time
 	seq  uint64
 	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	arg  int32
+	kind Kind
 }
 
 // Engine is a discrete-event simulation engine.
 // The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	steps  uint64
+	now     Time
+	seq     uint64
+	events  []event // 4-ary min-heap ordered by (when, seq)
+	steps   uint64
+	handler Handler
 }
 
 // Now returns the current simulation time.
@@ -60,6 +71,22 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // Pending returns the number of scheduled, not yet executed events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// SetHandler installs the dispatcher for typed events. It must be set
+// before the first Schedule'd event executes.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
+
+// Schedule enqueues a typed event at absolute time when. It is the
+// allocation-free counterpart of At: once the heap's backing array has
+// grown to its steady-state capacity, scheduling costs only the sift-up.
+// Scheduling into the past panics, as with At.
+func (e *Engine) Schedule(when Time, kind Kind, arg int32) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, e.now))
+	}
+	e.seq++
+	e.push(event{when: when, seq: e.seq, kind: kind, arg: arg})
+}
+
 // At schedules fn to run at absolute time when. Scheduling into the past
 // panics: it always indicates a broken timing computation upstream and
 // would silently corrupt causality if allowed.
@@ -68,11 +95,66 @@ func (e *Engine) At(when Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	e.push(event{when: when, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now. Negative delays panic.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// The event queue is a 4-ary min-heap ordered by (when, seq). Sequence
+// numbers are unique, so the order is a strict total order and the pop
+// sequence does not depend on heap shape or arity — which is why the arity
+// is a pure performance choice: a 4-ary heap halves the sift depth of a
+// binary heap and keeps each node's children on one cache line.
+const heapArity = 4
+
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := &e.events[parent]
+		if p.when < ev.when || (p.when == ev.when && p.seq < ev.seq) {
+			break
+		}
+		e.events[i] = *p
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	ev := e.events[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min := first
+		mc := &e.events[first]
+		for j := first + 1; j < last; j++ {
+			c := &e.events[j]
+			if c.when < mc.when || (c.when == mc.when && c.seq < mc.seq) {
+				min, mc = j, c
+			}
+		}
+		if ev.when < mc.when || (ev.when == mc.when && ev.seq < mc.seq) {
+			break
+		}
+		e.events[i] = *mc
+		i = min
+	}
+	e.events[i] = ev
+}
 
 // Step executes the earliest pending event and returns true, or returns
 // false if no events remain.
@@ -80,10 +162,23 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	if e.events[n].fn != nil {
+		e.events[n].fn = nil // release the closure reference
+	}
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 	e.now = ev.when
 	e.steps++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		e.handler(ev.kind, ev.arg)
+	}
 	return true
 }
 

@@ -84,6 +84,138 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestTypedEventsDispatchInOrder(t *testing.T) {
+	var e Engine
+	var got []int32
+	e.SetHandler(func(k Kind, arg int32) {
+		if k != 7 {
+			t.Fatalf("kind %d, want 7", k)
+		}
+		got = append(got, arg)
+	})
+	e.Schedule(30, 7, 3)
+	e.Schedule(10, 7, 1)
+	e.Schedule(20, 7, 2)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time %d", e.Now())
+	}
+}
+
+func TestTypedAndClosureEventsShareSequenceSpace(t *testing.T) {
+	// Ties at the same timestamp must break by scheduling order across
+	// both event forms — the property that makes the typed rewrite of a
+	// closure-based run loop bit-identical.
+	var e Engine
+	var got []int
+	e.SetHandler(func(_ Kind, arg int32) { got = append(got, int(arg)) })
+	e.Schedule(5, 0, 0)
+	e.At(5, func() { got = append(got, 1) })
+	e.Schedule(5, 0, 2)
+	e.At(5, func() { got = append(got, 3) })
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestTypedEventsScheduledDuringRun(t *testing.T) {
+	var e Engine
+	count := int32(0)
+	e.SetHandler(func(_ Kind, arg int32) {
+		count++
+		if count < 5 {
+			e.Schedule(e.Now()+7, 0, arg)
+		}
+	})
+	e.Schedule(0, 0, 0)
+	e.Run()
+	if count != 5 {
+		t.Errorf("ran %d steps", count)
+	}
+	if e.Now() != 28 {
+		t.Errorf("final time %d, want 28", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.SetHandler(func(Kind, int32) {})
+	e.Schedule(10, 0, 0)
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	e.Schedule(5, 0, 0)
+}
+
+// TestHeapOrderProperty drives the engine with adversarial (when, order)
+// mixes and checks the pop order is exactly the (when, seq) sort — the
+// invariant that keeps results independent of heap shape and arity.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(whens []uint8) bool {
+		var e Engine
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var got []rec
+		e.SetHandler(func(_ Kind, arg int32) {
+			got = append(got, rec{e.Now(), int(arg)})
+		})
+		for i, w := range whens {
+			e.Schedule(Time(w%16), 0, int32(i))
+		}
+		e.Run()
+		if len(got) != len(whens) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.when > b.when || (a.when == b.when && a.seq > b.seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTypedEventLoopDoesNotAllocate is the allocation regression for the
+// steady-state run loop: once the heap's backing array has reached its
+// working capacity, a schedule/step cycle must be allocation-free.
+func TestTypedEventLoopDoesNotAllocate(t *testing.T) {
+	var e Engine
+	live := 0
+	e.SetHandler(func(_ Kind, arg int32) {
+		live--
+		if live < 64 {
+			e.Schedule(e.Now()+Time(arg%13)+1, 0, arg)
+			live++
+		}
+	})
+	// Grow the heap to its steady-state working set before measuring.
+	for i := int32(0); i < 64; i++ {
+		e.Schedule(Time(i%7), 0, i)
+		live++
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("steady-state event loop allocates %.2f allocs/step, want 0", avg)
+	}
+}
+
 func TestCursorFCFS(t *testing.T) {
 	var c Cursor
 	s, d := c.Acquire(0, 10)
