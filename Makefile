@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet build test test-full bench bench-smoke figures clean
+.PHONY: ci fmt vet build test test-race test-full bench bench-smoke figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -25,6 +25,11 @@ build:
 
 test:
 	$(GO) test -short ./...
+
+# test-race runs the fast tier under the race detector — the exp worker
+# pool and every -jobs N path are the code this is for.
+test-race:
+	$(GO) test -race -short ./...
 
 # test-full runs every shape check at Small() scale (about a minute of
 # simulated sweeps on one core).

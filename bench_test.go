@@ -8,6 +8,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/exp"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 	"repro/internal/segarray"
@@ -154,8 +155,8 @@ func runTriad(cfg chip.Config, offsetWords int64) chip.Result {
 // question "would a hashed mapping have hidden the paper's effect?".
 func BenchmarkAblationXORMapping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t2 := runTriad(chip.Default(), 0)
-		cfg := chip.Default()
+		t2 := runTriad(machine.MustGet("t2").Config, 0)
+		cfg := machine.MustGet("t2").Config
 		cfg.Mapping = phys.XORMapping{}
 		xor := runTriad(cfg, 0)
 		b.ReportMetric(t2.GBps, "t2-GB/s")
@@ -170,13 +171,13 @@ func BenchmarkAblationXORMapping(b *testing.B) {
 // running many threads per core).
 func BenchmarkAblationMSHR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		base := chip.Default()
+		base := machine.MustGet("t2").Config
 		_, k := triadProg(13, 1)
 		p := k.Program(omp.StaticBlock{}, 8)
 		p.WarmLines = base.L2.SizeBytes / phys.LineSize
 		one := chip.New(base).Run(p)
 
-		cfg := chip.Default()
+		cfg := machine.MustGet("t2").Config
 		cfg.MSHRPerStrand = 4
 		_, k4 := triadProg(13, 1)
 		p4 := k4.Program(omp.StaticBlock{}, 8)
@@ -193,8 +194,8 @@ func BenchmarkAblationMSHR(b *testing.B) {
 // read+write kernels but leaves load-only kernels unchanged.
 func BenchmarkAblationTurnaround(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		with := runTriad(chip.Default(), 16)
-		cfg := chip.Default()
+		with := runTriad(machine.MustGet("t2").Config, 16)
+		cfg := machine.MustGet("t2").Config
 		cfg.Mem.WriteCouple = 0
 		without := runTriad(cfg, 16)
 		b.ReportMetric(with.GBps, "coupled-GB/s")
@@ -207,8 +208,8 @@ func BenchmarkAblationTurnaround(b *testing.B) {
 // worst-case offset recovers almost full bandwidth.
 func BenchmarkAblationRunAhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		coupled := runTriad(chip.Default(), 0)
-		cfg := chip.Default()
+		coupled := runTriad(machine.MustGet("t2").Config, 0)
+		cfg := machine.MustGet("t2").Config
 		cfg.RunAhead = 0
 		free := runTriad(cfg, 0)
 		b.ReportMetric(coupled.GBps, "window2-GB/s")

@@ -1,17 +1,26 @@
 // Command figures regenerates the paper's evaluation figures (Figs. 2, 4,
-// 5, 6, 7) on the simulated UltraSPARC T2 by running the declarative
-// experiments in internal/bench on the internal/exp worker pool. Each
-// figure is written as CSV and as a machine-readable JSON trajectory
-// (BENCH_<fig>.json), rendered as a plain-text plot, and validated by the
-// shape checks that encode the paper's qualitative claims.
+// 5, 6, 7) and the controller-scaling study on a simulated machine by
+// running the declarative experiments in internal/bench on the
+// internal/exp worker pool. Each figure is written as CSV and as a
+// machine-readable JSON trajectory (BENCH_<fig>.json), rendered as a
+// plain-text plot, and validated by the shape checks that encode the
+// paper's qualitative claims.
 //
 // Output is deterministic in the sweep alone: -jobs N only changes wall
 // time, never a byte of the CSV or JSON.
 //
 // Usage:
 //
-//	figures [-fig all|2|4|5|6|7|comma-list] [-scale full|small]
-//	        [-jobs N] [-json=false] [-out DIR]
+//	figures [-fig all|2|4|5|6|7|scaling|comma-list] [-scale full|small]
+//	        [-machine NAME] [-jobs N] [-json=false] [-out DIR]
+//	figures -list
+//
+// -machine reruns the sweeps on another profile from the internal/machine
+// registry; the profile name is stamped into the JSON trajectories. The
+// shape checks encode claims about the default t2 machine and are skipped
+// for other profiles (except the scaling study, which sweeps the machine
+// axis itself). -list prints the figure and machine-profile registries
+// and exits, so scenarios are discoverable without reading source.
 package main
 
 import (
@@ -25,15 +34,19 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/exp"
+	"repro/internal/machine"
 	"repro/internal/stats"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figures to regenerate: all, or a comma list of 2,4,5,6,7")
+	fig := flag.String("fig", "all", "figures to regenerate: all, or a comma list of 2,4,5,6,7,scaling")
 	scale := flag.String("scale", "full", "experiment scale: full or small")
+	machineName := flag.String("machine", machine.DefaultName,
+		"machine profile to simulate: "+strings.Join(machine.Names(), ", "))
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for the sweep pool (<=0: GOMAXPROCS)")
 	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
 	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
+	list := flag.Bool("list", false, "print the figure and machine-profile registries and exit")
 	flag.Parse()
 
 	var o bench.Options
@@ -45,6 +58,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	prof, err := machine.Get(*machineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	o = o.WithProfile(prof)
+
+	if *list {
+		printRegistries(o)
+		return
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
@@ -59,13 +83,22 @@ func main() {
 			known[f.Name] = true
 		}
 		for _, f := range strings.Split(*fig, ",") {
-			name := "fig" + strings.TrimSpace(f)
+			name := strings.TrimSpace(f)
+			if !known[name] {
+				name = "fig" + name
+			}
 			if !known[name] {
 				fmt.Fprintf(os.Stderr, "figures: no figure matches -fig %q\n", strings.TrimSpace(f))
 				os.Exit(2)
 			}
 			selected[name] = true
 		}
+	}
+
+	// The t2 shape checks assert claims about the paper's machine; the
+	// scaling study carries its own machine axis and is checked everywhere.
+	checkable := func(name string) bool {
+		return o.Machine == "" || name == "scaling"
 	}
 
 	runner := exp.Runner{Jobs: *jobs}
@@ -80,8 +113,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s — %d points, %d jobs, %s ==\n",
-			f.Title, len(outcome.Points), *jobs, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("== %s [machine %s] — %d points, %d jobs, %s ==\n",
+			f.Title, prof.Name, len(outcome.Points), *jobs, time.Since(start).Round(time.Millisecond))
 		series := outcome.Series()
 
 		csvPath := filepath.Join(*out, f.Name+".csv")
@@ -97,7 +130,10 @@ func main() {
 		}
 
 		stats.Plot(os.Stdout, f.Name, series, 78, 16)
-		if err := f.Check(series); err != nil {
+		if !checkable(f.Name) {
+			fmt.Printf("SHAPE-CHECK %s: skipped (checks encode t2 claims; machine is %s; written to %s)\n\n",
+				f.Name, prof.Name, csvPath)
+		} else if err := f.Check(series); err != nil {
 			failed = true
 			fmt.Printf("SHAPE-CHECK %s: FAIL: %v\n\n", f.Name, err)
 		} else {
@@ -108,6 +144,25 @@ func main() {
 		fmt.Println(strings.Repeat("-", 40))
 		fmt.Println("one or more shape checks FAILED")
 		os.Exit(1)
+	}
+}
+
+// printRegistries renders the discoverable scenario space: every figure
+// experiment and every machine profile.
+func printRegistries(o bench.Options) {
+	fmt.Println("figures (-fig):")
+	for _, f := range bench.Figures(o) {
+		fmt.Printf("  %-8s %s\n", f.Name, f.Title)
+		fmt.Printf("  %-8s   %s\n", "", f.Exp.Doc)
+	}
+	fmt.Println()
+	fmt.Println("machine profiles (-machine):")
+	for _, p := range machine.Profiles() {
+		def := ""
+		if p.Name == machine.DefaultName {
+			def = " (default)"
+		}
+		fmt.Printf("  %-10s %s%s\n", p.Name, p.Doc, def)
 	}
 }
 

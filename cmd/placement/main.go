@@ -2,11 +2,15 @@
 // a kernel's stream structure and it prints the placement parameters
 // (offsets, segment alignment, shift, schedule) plus the predicted
 // controller utilization — "no trial and error required" (Sect. 2.3).
+// Every subcommand accepts -machine to plan for any profile in the
+// internal/machine registry; the analyzer derives periods and offsets
+// from the profile's interleave, so the recipe is machine-generic.
 //
 // Subcommands:
 //
 //	placement offsets -streams 4
-//	placement rows
+//	placement offsets -streams 8 -machine mc8
+//	placement rows -machine t2-wide1k
 //	placement explain -n 33554432 -offset 32
 //	placement layout -n 128
 //	placement sweep -n 33554432 -max 256 -step 2 -jobs 8 -json pred.json
@@ -21,24 +25,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/lbm"
+	"repro/internal/machine"
 	"repro/internal/phys"
 )
+
+// machineFlag registers the shared -machine flag on a subcommand's flag
+// set; resolve it after Parse.
+func machineFlag(fs *flag.FlagSet) *string {
+	return fs.String("machine", machine.DefaultName,
+		"machine profile to plan for: "+strings.Join(machine.Names(), ", "))
+}
+
+// specFor resolves the profile name into the analyzer's machine
+// description, exiting with the registry's error on an unknown name.
+func specFor(name string) core.MachineSpec {
+	prof, err := machine.Get(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+		os.Exit(2)
+	}
+	return prof.Spec()
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	ms := core.T2Spec()
 	switch os.Args[1] {
 	case "offsets":
 		fs := flag.NewFlagSet("offsets", flag.ExitOnError)
 		streams := fs.Int("streams", 4, "concurrent streams (reads + writes) of the loop kernel")
+		mn := machineFlag(fs)
 		fs.Parse(os.Args[2:])
+		ms := specFor(*mn)
 		p := core.PlanArrayOffsets(ms, *streams)
 		fmt.Printf("per-array byte offsets (after common alignment):\n")
 		for i, o := range p.Offsets {
@@ -46,6 +71,10 @@ func main() {
 		}
 		fmt.Printf("predicted controller concurrency: %.2f of %d\n", p.Concurrency, ms.Mapping.Controllers())
 	case "rows":
+		fs := flag.NewFlagSet("rows", flag.ExitOnError)
+		mn := machineFlag(fs)
+		fs.Parse(os.Args[2:])
+		ms := specFor(*mn)
 		rp := core.PlanRows(ms)
 		fmt.Printf("row-organized (stencil) placement:\n")
 		fmt.Printf("  segment alignment: %d bytes (the controller interleave period)\n", rp.SegAlign)
@@ -55,7 +84,9 @@ func main() {
 		fs := flag.NewFlagSet("explain", flag.ExitOnError)
 		n := fs.Int64("n", 1<<25, "STREAM array length in DP words")
 		off := fs.Int64("offset", 0, "COMMON-block offset in DP words")
+		mn := machineFlag(fs)
 		fs.Parse(os.Args[2:])
+		ms := specFor(*mn)
 		phases, regime := core.ExplainStreamOffset(ms, *n, *off)
 		fmt.Printf("STREAM COMMON block, N=%d, offset=%d words:\n", *n, *off)
 		for i, p := range phases {
@@ -73,7 +104,9 @@ func main() {
 	case "layout":
 		fs := flag.NewFlagSet("layout", flag.ExitOnError)
 		n := fs.Int("n", 128, "LBM cubic domain edge")
+		mn := machineFlag(fs)
 		fs.Parse(os.Args[2:])
+		ms := specFor(*mn)
 		p := *n + 2
 		sIJKv := int64(lbm.IJKv.VStride(p)) * phys.WordSize
 		sIvJK := int64(lbm.IvJK.VStride(p)) * phys.WordSize
@@ -88,16 +121,19 @@ func main() {
 		step := fs.Int64("step", 2, "offset step (words)")
 		jobs := fs.Int("jobs", 0, "worker goroutines (<=0: GOMAXPROCS)")
 		jsonOut := fs.String("json", "", "write the JSON trajectory to this file ('-' for stdout)")
+		mn := machineFlag(fs)
 		fs.Parse(os.Args[2:])
+		ms := specFor(*mn)
 		if *step <= 0 || *max < 0 {
 			fmt.Fprintln(os.Stderr, "placement: sweep needs -step > 0 and -max >= 0")
 			os.Exit(2)
 		}
 
 		e := exp.Experiment{
-			Name: "placement/offset-prediction",
-			Doc:  "analyzer-predicted relative STREAM bandwidth vs COMMON-block offset",
-			Grid: exp.Grid{exp.Span64("offset", 0, *max+1, *step)},
+			Name:    "placement/offset-prediction",
+			Doc:     "analyzer-predicted relative STREAM bandwidth vs COMMON-block offset",
+			Machine: machine.Tag(*mn),
+			Grid:    exp.Grid{exp.Span64("offset", 0, *max+1, *step)},
 			Run: func(_ chip.Config, p exp.Point) (exp.Result, error) {
 				off := p.Int64("offset")
 				ndim := *n + off

@@ -13,9 +13,15 @@
 //	t2sim -kernel vtriad -n 1048576 -threads 64 -arrayoffset 128
 //	t2sim -kernel jacobi -n 1200 -threads 64 -opt
 //	t2sim -kernel lbm -n 96 -threads 64 -layout IvJK -fused
-//	t2sim -kernel triad -n 524288 -threads 64 -offset 0 -mapping xor
+//	t2sim -kernel triad -n 524288 -threads 64 -offset 0 -machine xor
+//	t2sim -kernel vtriad -n 1048576 -threads 64 -machine mc8
 //	t2sim -kernel triad -n 524288 -sweep offset=0:256:2 -jobs 8 -json -
 //	t2sim -kernel vtriad -n 1048576 -sweep threads=8:64:8
+//
+// The -machine flag selects a machine profile from the internal/machine
+// registry (t2, t2-1mc, t2-2mc, mc8, t2-wide1k, t2-wide4k, xor, single);
+// placement planning (jacobi -opt) follows the selected profile's
+// interleave automatically.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/kernels"
 	"repro/internal/lbm"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 	"repro/internal/segarray"
@@ -62,7 +69,8 @@ func main() {
 	flag.Int64Var(&p.arrayOffset, "arrayoffset", 0, "per-array byte offset (array i shifted by i*offset)")
 	flag.IntVar(&p.sweeps, "sweeps", 1, "passes over the data")
 	flag.StringVar(&p.sched, "sched", "static", "schedule: static, static1, dynamic, guided")
-	mapping := flag.String("mapping", "t2", "address mapping: t2, xor, single")
+	machineName := flag.String("machine", machine.DefaultName,
+		"machine profile (see internal/machine, or `figures -list`): "+strings.Join(machine.Names(), ", "))
 	flag.StringVar(&p.layout, "layout", "IvJK", "LBM layout: IJKv or IvJK")
 	flag.BoolVar(&p.fused, "fused", false, "LBM: coalesce the outer loop pair")
 	flag.BoolVar(&p.opt, "opt", false, "jacobi: apply the planner's row placement (512B align, 128B shift)")
@@ -73,24 +81,19 @@ func main() {
 	jsonOut := flag.String("json", "", "with -sweep: write the JSON trajectory to this file ('-' for stdout)")
 	flag.Parse()
 
-	cfg := chip.Default()
+	prof, err := machine.Get(*machineName)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg := prof.Config
 	cfg.MSHRPerStrand = *msar
 	cfg.RunAhead = *runAhead
-	switch *mapping {
-	case "t2":
-	case "xor":
-		cfg.Mapping = phys.XORMapping{}
-	case "single":
-		cfg.Mapping = phys.SingleMapping{}
-	default:
-		fail("unknown mapping %q", *mapping)
-	}
 
 	if *sweep == "" {
-		runSingle(cfg, p)
+		runSingle(prof, cfg, p)
 		return
 	}
-	runSweep(cfg, p, *sweep, *jobs, *jsonOut)
+	runSweep(prof, cfg, p, *sweep, *jobs, *jsonOut)
 }
 
 // schedule resolves the schedule name; jacobi -opt forces static1 as the
@@ -147,7 +150,7 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 	case "jacobi":
 		spec := jacobi.Spec{N: p.n, Sched: schedule, Sweeps: p.sweeps}
 		if p.opt {
-			rp := core.PlanRows(core.T2Spec())
+			rp := core.PlanRows(core.SpecFor(cfg.Mapping))
 			sparams := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
 				SegAlign: rp.SegAlign, Shift: rp.Shift}
 			rows := make([]int64, p.n)
@@ -190,7 +193,7 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 }
 
 // runSingle simulates one point and prints the detailed report.
-func runSingle(cfg chip.Config, p params) {
+func runSingle(prof machine.Profile, cfg chip.Config, p params) {
 	prog, err := p.build(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -198,6 +201,7 @@ func runSingle(cfg chip.Config, p params) {
 	m := chip.New(cfg)
 	r := m.Run(prog)
 
+	fmt.Printf("machine:   %s (%s)\n", prof.Name, prof.Doc)
 	fmt.Printf("program:   %s\n", r.Label)
 	fmt.Printf("cycles:    %d (%.3f ms at %.1f GHz)\n", r.Cycles, r.Seconds*1e3, cfg.ClockHz/1e9)
 	fmt.Printf("reported:  %8.2f GB/s\n", r.GBps)
@@ -243,7 +247,7 @@ func parseSweep(spec string) (axis string, lo, hi, step int64, err error) {
 
 // runSweep fans the one-axis sweep out over the worker pool and prints a
 // table plus the optional JSON trajectory.
-func runSweep(cfg chip.Config, base params, spec string, jobs int, jsonOut string) {
+func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, jobs int, jsonOut string) {
 	axis, lo, hi, step, err := parseSweep(spec)
 	if err != nil {
 		fail("%v", err)
@@ -255,10 +259,11 @@ func runSweep(cfg chip.Config, base params, spec string, jobs int, jsonOut strin
 	}
 
 	e := exp.Experiment{
-		Name: "t2sim/" + base.kernel,
-		Doc:  fmt.Sprintf("%s sweep over %s", base.kernel, axis),
-		Cfg:  cfg,
-		Grid: exp.Grid{exp.Span64(axis, lo, hi+1, step)},
+		Name:    "t2sim/" + base.kernel,
+		Doc:     fmt.Sprintf("%s sweep over %s", base.kernel, axis),
+		Machine: machine.Tag(prof.Name),
+		Cfg:     cfg,
+		Grid:    exp.Grid{exp.Span64(axis, lo, hi+1, step)},
 		Run: func(cfg chip.Config, pt exp.Point) (exp.Result, error) {
 			p := base
 			v := pt.Int64(axis)

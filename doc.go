@@ -11,6 +11,9 @@
 // examples/, and the benchmarks in bench_test.go. Every figure sweep runs
 // as a declarative experiment on the internal/exp worker pool, so
 // regeneration parallelizes across GOMAXPROCS with byte-identical output.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// Machines are named profiles in internal/machine (the calibrated t2
+// default plus controller-scaling and interleave-granularity variants);
+// every CLI takes -machine and the analyzer plans placements from the
+// selected profile's interleave. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
 package repro

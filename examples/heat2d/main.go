@@ -11,6 +11,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/jacobi"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 	"repro/internal/segarray"
@@ -19,7 +20,7 @@ import (
 func main() {
 	// ---- host solve on segmented rows -------------------------------
 	const n = 65
-	rp := core.PlanRows(core.T2Spec())
+	rp := core.PlanRows(machine.MustGet("t2").Spec())
 	params := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
 		SegAlign: rp.SegAlign, Shift: rp.Shift}
 	rows := make([]int64, n)
@@ -50,8 +51,8 @@ func main() {
 	// exactly such sizes (periodicity 64 in N); sizes like 1200 are lucky
 	// and the plain code matches the optimized one there.
 	const simN = 1216
-	m := chip.New(chip.Default())
-	warm := chip.Default().L2.SizeBytes / phys.LineSize
+	m := chip.New(machine.MustGet("t2").Config)
+	warm := machine.MustGet("t2").Config.L2.SizeBytes / phys.LineSize
 
 	spPlain := alloc.NewSpace()
 	plain := jacobi.Spec{

@@ -13,6 +13,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/lbm"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 )
@@ -50,7 +51,7 @@ func main() {
 	// distribution functions alias onto one controller, while the IvJK
 	// stride (68 doubles = 544 bytes) walks through all of them.
 	const simN = 66
-	ms := core.T2Spec()
+	ms := machine.MustGet("t2").Spec()
 	p := simN + 2
 	sIJKv := int64(lbm.IJKv.VStride(p)) * phys.WordSize
 	sIvJK := int64(lbm.IvJK.VStride(p)) * phys.WordSize
@@ -59,8 +60,8 @@ func main() {
 		core.AdviseLayout(ms, "IJKv", sIJKv, "IvJK", sIvJK, lbm.Q))
 
 	// ---- simulated performance -----------------------------------------
-	m := chip.New(chip.Default())
-	warm := chip.Default().L2.SizeBytes / phys.LineSize
+	m := chip.New(machine.MustGet("t2").Config)
+	warm := machine.MustGet("t2").Config.L2.SizeBytes / phys.LineSize
 	run := func(layout lbm.Layout, fused bool, threads int) chip.Result {
 		sp := alloc.NewSpace()
 		spec := lbm.TraceSpec{

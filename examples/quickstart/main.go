@@ -10,14 +10,15 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 )
 
 func main() {
 	const n = 1 << 19 // one vector triad array: 4 MB
-	ms := core.T2Spec()
-	m := chip.New(chip.Default())
+	ms := machine.MustGet("t2").Spec()
+	m := chip.New(machine.MustGet("t2").Config)
 
 	// Step 1: the naive placement — all four arrays page-aligned, as a
 	// matrix allocator would produce. The analyzer predicts the convoy.
@@ -29,7 +30,7 @@ func main() {
 
 	k := kernels.VTriad(naive[0], naive[1], naive[2], naive[3], n)
 	p := k.Program(omp.StaticBlock{}, 64)
-	p.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+	p.WarmLines = machine.MustGet("t2").Config.L2.SizeBytes / phys.LineSize
 	r := m.Run(p)
 	fmt.Printf("                   measured %.2f GB/s\n\n", r.GBps)
 
@@ -50,7 +51,7 @@ func main() {
 
 	k2 := kernels.VTriad(tuned[0], tuned[1], tuned[2], tuned[3], n)
 	p2 := k2.Program(omp.StaticBlock{}, 64)
-	p2.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+	p2.WarmLines = machine.MustGet("t2").Config.L2.SizeBytes / phys.LineSize
 	r2 := m.Run(p2)
 	fmt.Printf("                   measured %.2f GB/s\n\n", r2.GBps)
 

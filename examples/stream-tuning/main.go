@@ -11,15 +11,16 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 )
 
 func main() {
 	const n = 1 << 18
-	m := chip.New(chip.Default())
-	ms := core.T2Spec()
-	warm := chip.Default().L2.SizeBytes / phys.LineSize
+	m := chip.New(machine.MustGet("t2").Config)
+	ms := machine.MustGet("t2").Spec()
+	warm := machine.MustGet("t2").Config.L2.SizeBytes / phys.LineSize
 
 	fmt.Println("offset  ctrl-phases  predicted   measured GB/s")
 	fmt.Println("------  -----------  ---------  --------------")

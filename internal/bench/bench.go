@@ -22,6 +22,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/kernels"
 	"repro/internal/lbm"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 	"repro/internal/segarray"
@@ -34,6 +35,10 @@ import (
 // shrinks them further for unit tests.
 type Options struct {
 	Cfg chip.Config
+	// Machine is the profile name stamped into BENCH trajectories. Empty
+	// means the default t2 machine (and keeps historical BENCH_*.json
+	// byte-identical); WithProfile sets it for every other profile.
+	Machine string
 
 	// Fig. 2
 	StreamN      int64
@@ -58,6 +63,9 @@ type Options struct {
 	// Fig. 7
 	LBMNs     []int64
 	LBMSweeps int
+
+	// Controller-scaling study (BENCH_scaling)
+	ScalingN int64
 }
 
 // Default returns the full-scale reproduction settings. Sizes are
@@ -68,7 +76,7 @@ type Options struct {
 // hours.
 func Default() Options {
 	return Options{
-		Cfg:          chip.Default(),
+		Cfg:          machine.MustGet(machine.DefaultName).Config,
 		StreamN:      1 << 18,
 		OffsetMax:    256,
 		OffsetStep:   2,
@@ -87,7 +95,27 @@ func Default() Options {
 
 		LBMNs:     []int64{64, 72, 96, 126, 128, 160, 192},
 		LBMSweeps: 1,
+
+		ScalingN: 1 << 17,
 	}
+}
+
+// WithProfile retargets the experiments at a machine profile: the chip
+// configuration comes from the profile, and (for non-default profiles)
+// the profile name is stamped into every BENCH trajectory. The default t2
+// profile leaves Machine empty so historical trajectories stay
+// byte-identical.
+func (o Options) WithProfile(p machine.Profile) Options {
+	o.Cfg = p.Config
+	o.Machine = machine.Tag(p.Name)
+	return o
+}
+
+// spec derives the analyzer's machine description from the configured
+// chip, so planned offsets, row shifts and regime predictions follow the
+// selected profile instead of a hardwired T2.
+func (o Options) spec() core.MachineSpec {
+	return core.MachineSpec{Mapping: o.Cfg.Mapping, LineSize: o.Cfg.L2.LineSize}
 }
 
 // Small returns unit-test-scale settings that keep every structural
@@ -105,6 +133,7 @@ func Small() Options {
 	o.JacobiThreads = []int{8, 64}
 	o.JacobiSweeps = 1
 	o.LBMNs = []int64{48, 62, 64, 72}
+	o.ScalingN = 1 << 15
 	return o
 }
 
@@ -159,9 +188,10 @@ func (o Options) Fig2Exp() exp.Experiment {
 		threadAxis = append(append([]int{}, o.Fig2Threads...), 64)
 	}
 	return exp.Experiment{
-		Name: "fig2",
-		Doc:  "STREAM triad/copy bandwidth vs COMMON-block offset (GB/s)",
-		Cfg:  o.Cfg,
+		Name:    "fig2",
+		Doc:     "STREAM triad/copy bandwidth vs COMMON-block offset (GB/s)",
+		Machine: o.Machine,
+		Cfg:     o.Cfg,
 		Grid: exp.Grid{
 			exp.Strs("kernel", "triad", "copy"),
 			exp.Ints("threads", threadAxis...),
@@ -257,9 +287,10 @@ func segTriadLayouts(sp *alloc.Space, n int64, threads int, offset int64) [4]*se
 func (o Options) Fig4Exp() exp.Experiment {
 	const threads = 64
 	return exp.Experiment{
-		Name: "fig4",
-		Doc:  "vector triad bandwidth vs N under placement policies (GB/s)",
-		Cfg:  o.Cfg,
+		Name:    "fig4",
+		Doc:     "vector triad bandwidth vs N under placement policies (GB/s)",
+		Machine: o.Machine,
+		Cfg:     o.Cfg,
 		Grid: exp.Grid{
 			exp.Strs("placement", "plain", "seg"),
 			exp.Int64s("offset", 0, 32, 64, 128),
@@ -311,11 +342,12 @@ func Fig4(o Options) []stats.Series {
 // the plain OpenMP version. Offsets are kept optimal in both arms —
 // Fig. 5 isolates iterator overhead, not aliasing.
 func (o Options) Fig5Exp(threads int) exp.Experiment {
-	plan := core.PlanArrayOffsets(core.T2Spec(), 4)
+	plan := core.PlanArrayOffsets(o.spec(), 4)
 	return exp.Experiment{
-		Name: "fig5",
-		Doc:  "segmented iterator overhead vs plain loops (GB/s)",
-		Cfg:  o.Cfg,
+		Name:    "fig5",
+		Doc:     "segmented iterator overhead vs plain loops (GB/s)",
+		Machine: o.Machine,
+		Cfg:     o.Cfg,
 		Grid: exp.Grid{
 			exp.Strs("impl", "seg", "plain"),
 			exp.Int64s("n", o.Fig5Ns...),
@@ -367,7 +399,7 @@ func Fig5(o Options, threads int) []stats.Series {
 // optimally aligned segmented solver at several thread counts, plus the
 // plain (unaligned) 64-thread reference.
 func (o Options) Fig6Exp() exp.Experiment {
-	rp := core.PlanRows(core.T2Spec())
+	rp := core.PlanRows(o.spec())
 	// The plain reference always runs at 64 threads, whether or not 64 is
 	// among the optimized thread counts.
 	optT := map[int]bool{}
@@ -379,9 +411,10 @@ func (o Options) Fig6Exp() exp.Experiment {
 		threadAxis = append(append([]int{}, o.JacobiThreads...), 64)
 	}
 	return exp.Experiment{
-		Name: "fig6",
-		Doc:  "2D Jacobi MLUPs/s vs N, planned vs plain placement",
-		Cfg:  o.Cfg,
+		Name:    "fig6",
+		Doc:     "2D Jacobi MLUPs/s vs N, planned vs plain placement",
+		Machine: o.Machine,
+		Cfg:     o.Cfg,
 		Grid: exp.Grid{
 			exp.Strs("placement", "plain", "opt"),
 			exp.Ints("threads", threadAxis...),
@@ -465,9 +498,10 @@ func (o Options) Fig7Exp() exp.Experiment {
 		names[i] = v.name
 	}
 	return exp.Experiment{
-		Name: "fig7",
-		Doc:  "D3Q19 LBM MLUPs/s vs domain edge for layout/fusion variants",
-		Cfg:  o.Cfg,
+		Name:    "fig7",
+		Doc:     "D3Q19 LBM MLUPs/s vs domain edge for layout/fusion variants",
+		Machine: o.Machine,
+		Cfg:     o.Cfg,
 		Grid: exp.Grid{
 			exp.Strs("variant", names...),
 			exp.Int64s("n", o.LBMNs...),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 )
@@ -17,11 +18,11 @@ import (
 // analyzer's predicted relative bandwidth alongside the simulator's
 // measurement.
 func crossvalExp(n int64) exp.Experiment {
-	ms := core.T2Spec()
+	ms := core.SpecFor(phys.T2())
 	return exp.Experiment{
 		Name: "crossval",
 		Doc:  "analyzer-predicted vs simulator-measured bandwidth by offset regime",
-		Cfg:  chip.Default(),
+		Cfg:  machine.MustGet("t2").Config,
 		Grid: exp.Grid{
 			exp.Int64s("offset", 0, 32, 16), // convoy, partial, uniform
 		},
@@ -85,11 +86,11 @@ func TestAnalyzerPredictsSimulator(t *testing.T) {
 // plannerExp measures the vector triad under naive page alignment and the
 // planner's per-array offsets as a two-point experiment.
 func plannerExp(n int64) exp.Experiment {
-	plan := core.PlanArrayOffsets(core.T2Spec(), 4)
+	plan := core.PlanArrayOffsets(core.SpecFor(phys.T2()), 4)
 	return exp.Experiment{
 		Name: "planner",
 		Doc:  "planned vs naive vector-triad placement",
-		Cfg:  chip.Default(),
+		Cfg:  machine.MustGet("t2").Config,
 		Grid: exp.Grid{
 			exp.Strs("placement", "naive", "planned"),
 		},

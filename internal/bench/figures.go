@@ -58,5 +58,12 @@ func Figures(o Options) []Figure {
 			Exp:    o.Fig7Exp(),
 			Check:  CheckFig7,
 		},
+		{
+			Name:   "scaling",
+			Title:  "Controller scaling x interleave granularity (beyond the paper)",
+			XLabel: "machine_index",
+			Exp:    o.ScalingExp(),
+			Check:  CheckScaling,
+		},
 	}
 }

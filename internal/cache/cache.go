@@ -23,10 +23,12 @@ type Config struct {
 	Banks     int   // number of banks; must match the mapping's bank count
 }
 
-// T2L2 returns the UltraSPARC T2 L2 configuration: 4 MB, 16-way, 64-byte
-// lines, 8 banks.
-func T2L2() Config {
-	return Config{SizeBytes: 4 << 20, Ways: 16, LineSize: phys.LineSize, Banks: 8}
+// Derive returns the cache geometry for a machine with the given mapping:
+// the bank count is the mapping's, so the cache and the controllers agree
+// by construction. The machine-profile registry (internal/machine) builds
+// every profile's L2 through this instead of a per-chip constant.
+func Derive(sizeBytes int64, ways int, mapping phys.Mapping) Config {
+	return Config{SizeBytes: sizeBytes, Ways: ways, LineSize: phys.LineSize, Banks: mapping.Banks()}
 }
 
 // Stats aggregates cache activity counters.
@@ -70,14 +72,26 @@ type Banked struct {
 	setsPerBank int
 	setShift    uint
 	tagShift    uint
-	bankInsert  bool     // bank bits sit directly above the line offset
-	tags        []uint64 // [set*Ways + way]
-	used        []uint64 // [set*Ways + way] LRU stamps
-	valid       []uint64 // per-set way bitmask
-	dirty       []uint64 // per-set way bitmask
-	clock       uint64
-	stats       Stats
-	bankStats   []Stats
+	bankInsert  bool // bank bits sit directly above the line offset
+	// Wide-granule indexing: when a field mapping's bank bits sit above
+	// the line offset (a coarse interleave, granule > one line), the set
+	// and tag are taken from the line index with the bank field excised,
+	// so (bank, set, tag) stays bijective with the line address. gBits is
+	// the width of the line-within-granule field; wideShift is the bit
+	// position just above the bank field.
+	wide      bool
+	gBits     uint
+	wideShift uint
+	lineBits  uint
+	setBits   uint
+	bankShift uint
+	tags      []uint64 // [set*Ways + way]
+	used      []uint64 // [set*Ways + way] LRU stamps
+	valid     []uint64 // per-set way bitmask
+	dirty     []uint64 // per-set way bitmask
+	clock     uint64
+	stats     Stats
+	bankStats []Stats
 }
 
 // New builds a cache from cfg using mapping for bank selection. It panics
@@ -123,9 +137,25 @@ func New(cfg Config, mapping phys.Mapping) *Banked {
 		dirty:       make([]uint64, setsTotal),
 		bankStats:   make([]Stats, cfg.Banks),
 	}
-	lineBits := uint64(bits.TrailingZeros64(uint64(cfg.LineSize)))
-	if fs, fm, ok := c.mapped.BankField(); ok && fs == lineBits && fm == uint64(cfg.Banks-1) {
-		c.bankInsert = true
+	c.lineBits = uint(bits.TrailingZeros64(uint64(cfg.LineSize)))
+	c.setBits = uint(bits.Len(uint(perBank - 1)))
+	if fs, fm, ok := c.mapped.BankField(); ok {
+		c.bankShift = uint(fs)
+		switch {
+		case fs == uint64(c.lineBits) && fm == uint64(cfg.Banks-1):
+			c.bankInsert = true
+		case fs > uint64(c.lineBits):
+			// Coarse interleave: the bank field sits above the line offset.
+			// The default scheme would fold all lines of a granule onto one
+			// (set, tag), so switch to the excised-field indexing. Requires
+			// the declared field to cover the whole global bank index.
+			if fm != uint64(cfg.Banks-1) {
+				panic(fmt.Sprintf("cache: mapping %q declares a partial bank field (mask %#x for %d banks)", mapping.Name(), fm, cfg.Banks))
+			}
+			c.wide = true
+			c.gBits = uint(fs) - c.lineBits
+			c.wideShift = uint(fs) + uint(bankBits)
+		}
 	}
 	return c
 }
@@ -138,11 +168,19 @@ func (c *Banked) SetsPerBank() int { return c.setsPerBank }
 
 // locate computes the bank, global set index and tag of a line with exactly
 // one bank computation — the mapping is consulted once per access, through
-// the devirtualized handle.
+// the devirtualized handle. Line-granule machines (the T2 and every hashed
+// mapping) take the two-shift fast path; coarse interleaves excise the
+// bank field from the line index first so distinct lines of one granule
+// keep distinct (set, tag) pairs.
 func (c *Banked) locate(line phys.Addr) (bank, setIdx int, tag uint64) {
 	bank = c.mapped.Bank(line)
-	set := (uint64(line) >> c.setShift) & uint64(c.setsPerBank-1)
-	return bank, bank*c.setsPerBank + int(set), uint64(line) >> c.tagShift
+	if !c.wide {
+		set := (uint64(line) >> c.setShift) & uint64(c.setsPerBank-1)
+		return bank, bank*c.setsPerBank + int(set), uint64(line) >> c.tagShift
+	}
+	idx := uint64(line)>>c.wideShift<<c.gBits | uint64(line)>>c.lineBits&(1<<c.gBits-1)
+	set := idx & uint64(c.setsPerBank-1)
+	return bank, bank*c.setsPerBank + int(set), idx >> c.setBits
 }
 
 // Probe is the outcome of a non-mutating tag lookup: which bank serves the
@@ -267,19 +305,26 @@ func (c *Banked) Contains(addr phys.Addr) bool {
 func (c *Banked) reconstruct(setIdx int, tag uint64) phys.Addr {
 	bank := setIdx / c.setsPerBank
 	set := uint64(setIdx % c.setsPerBank)
-	setBits := uint(bits.Len(uint(c.setsPerBank - 1)))
-	addr := tag<<(c.setShift+setBits) | set<<c.setShift
+	if c.wide {
+		// Invert the excised-field indexing: split the set|tag index back
+		// into the line-within-granule and above-bank fields, then re-insert
+		// the bank field between them.
+		idx := tag<<c.setBits | set
+		within := idx & (1<<c.gBits - 1)
+		above := idx >> c.gBits
+		return phys.Addr(above<<c.wideShift | uint64(bank)<<c.bankShift | within<<c.lineBits)
+	}
+	addr := tag<<(c.setShift+c.setBits) | set<<c.setShift
 	// Re-insert the bank-selection bits. For field mappings whose bank bits
 	// sit directly above the line offset (the T2), the bank index is the
 	// field value itself; for hashed mappings the bank field is not
 	// address-recoverable, so we search the bank's aliases.
-	lineBits := uint(bits.TrailingZeros64(uint64(c.cfg.LineSize)))
 	if c.bankInsert {
-		return phys.Addr(addr | uint64(bank)<<lineBits)
+		return phys.Addr(addr | uint64(bank)<<c.lineBits)
 	}
-	bankBits := c.setShift - lineBits
+	bankBits := c.setShift - c.lineBits
 	for b := uint64(0); b < 1<<bankBits; b++ {
-		cand := phys.Addr(addr | b<<lineBits)
+		cand := phys.Addr(addr | b<<c.lineBits)
 		if c.mapped.Bank(cand) == bank {
 			return cand
 		}

@@ -12,7 +12,7 @@ func small() Config {
 }
 
 func TestMissThenHit(t *testing.T) {
-	c := New(small(), phys.T2Mapping{})
+	c := New(small(), phys.T2())
 	if r := c.Access(0x1000, false); r.Hit {
 		t.Error("cold access hit")
 	}
@@ -30,7 +30,7 @@ func TestMissThenHit(t *testing.T) {
 
 func TestWriteAllocateAndWriteback(t *testing.T) {
 	cfg := small()
-	c := New(cfg, phys.T2Mapping{})
+	c := New(cfg, phys.T2())
 	// Fill one set with dirty lines, then overflow it: the LRU victim must
 	// come back as a dirty writeback with its reconstructed address.
 	setsPerBank := c.SetsPerBank()
@@ -62,7 +62,7 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 
 func TestCleanEvictionNoWriteback(t *testing.T) {
 	cfg := small()
-	c := New(cfg, phys.T2Mapping{})
+	c := New(cfg, phys.T2())
 	setsPerBank := c.SetsPerBank()
 	stride := phys.Addr(setsPerBank) * 512
 	for i := 0; i <= cfg.Ways; i++ {
@@ -74,7 +74,7 @@ func TestCleanEvictionNoWriteback(t *testing.T) {
 
 func TestLRUTouchOrder(t *testing.T) {
 	cfg := small()
-	c := New(cfg, phys.T2Mapping{})
+	c := New(cfg, phys.T2())
 	stride := phys.Addr(c.SetsPerBank()) * 512
 	a0 := phys.Addr(0)
 	// Fill ways, re-touch a0 so it is MRU, then overflow: victim must not
@@ -98,7 +98,7 @@ func TestThrashingPowerOfTwoStride(t *testing.T) {
 	// cacheSize apart through a 4-way cache must give ~0% hit rate on
 	// revisit.
 	cfg := small()
-	c := New(cfg, phys.T2Mapping{})
+	c := New(cfg, phys.T2())
 	for rep := 0; rep < 2; rep++ {
 		for s := 0; s < 8; s++ {
 			c.Access(phys.Addr(s)*phys.Addr(cfg.SizeBytes), false)
@@ -113,7 +113,7 @@ func TestCapacityProperty(t *testing.T) {
 	// A working set that fits fully is hit on every revisit.
 	cfg := small()
 	f := func(seed uint16) bool {
-		c := New(cfg, phys.T2Mapping{})
+		c := New(cfg, phys.T2())
 		base := phys.Addr(seed) * 4096
 		lines := cfg.SizeBytes / cfg.LineSize / 2 // half capacity
 		for i := int64(0); i < lines; i++ {
@@ -136,8 +136,8 @@ func TestVictimReconstruction(t *testing.T) {
 	// from — otherwise writeback traffic would hit wrong controllers.
 	cfg := small()
 	f := func(raw []uint32) bool {
-		c := New(cfg, phys.T2Mapping{})
-		m := phys.T2Mapping{}
+		c := New(cfg, phys.T2())
+		m := phys.T2()
 		for _, r := range raw {
 			addr := phys.Addr(r) &^ 63
 			res := c.Access(addr, true)
@@ -156,15 +156,90 @@ func TestVictimReconstruction(t *testing.T) {
 	}
 }
 
-func TestT2L2Geometry(t *testing.T) {
-	c := New(T2L2(), phys.T2Mapping{})
+func TestDerivedT2Geometry(t *testing.T) {
+	c := New(Derive(4<<20, 16, phys.T2()), phys.T2())
 	if c.SetsPerBank() != 512 {
 		t.Errorf("T2 L2 sets per bank = %d, want 512", c.SetsPerBank())
 	}
 }
 
+func TestDerivedGeometryFollowsMapping(t *testing.T) {
+	cases := []struct {
+		m       phys.Mapping
+		perBank int
+	}{
+		{phys.NewInterleave("t2-1mc", 64, 1, 2), 2048},
+		{phys.NewInterleave("mc8", 64, 8, 2), 256},
+		{phys.NewInterleave("t2-wide4k", 4096, 4, 2), 512},
+	}
+	for _, c := range cases {
+		b := New(Derive(4<<20, 16, c.m), c.m)
+		if b.Config().Banks != c.m.Banks() {
+			t.Errorf("%s: derived %d banks, mapping has %d", c.m.Name(), b.Config().Banks, c.m.Banks())
+		}
+		if b.SetsPerBank() != c.perBank {
+			t.Errorf("%s: %d sets per bank, want %d", c.m.Name(), b.SetsPerBank(), c.perBank)
+		}
+	}
+}
+
+// TestWideInterleaveIndexingBijective pins the coarse-interleave tag
+// store: distinct lines within one granule (which the default indexing
+// would fold together) must stay distinct, and a full sweep over several
+// periods must be re-visitable with a 100% hit rate when it fits.
+func TestWideInterleaveIndexingBijective(t *testing.T) {
+	m := phys.NewInterleave("t2-wide1k", 1024, 4, 2)
+	c := New(Derive(64*1024, 4, m), m)
+	// 64 kB cache, 1024 lines; touch 512 distinct lines spanning granules.
+	const lines = 512
+	for i := 0; i < lines; i++ {
+		if r := c.Access(phys.Addr(i)*64, false); r.Hit {
+			t.Fatalf("cold access %d hit", i)
+		}
+	}
+	for i := 0; i < lines; i++ {
+		if !c.Contains(phys.Addr(i) * 64) {
+			t.Fatalf("line %d lost — wide indexing is not bijective", i)
+		}
+	}
+	if hr := c.Stats().HitRate(); hr != 0 {
+		t.Errorf("hit rate %.2f during cold sweep, want 0", hr)
+	}
+}
+
+// TestWideInterleaveVictimReconstruction pins reconstruct for the
+// excised-field indexing: a dirty victim's rebuilt address must map to the
+// bank and set it was evicted from.
+func TestWideInterleaveVictimReconstruction(t *testing.T) {
+	m := phys.NewInterleave("t2-wide1k", 1024, 4, 2)
+	cfg := Derive(64*1024, 4, m)
+	c := New(cfg, m)
+	probe := func(a phys.Addr) (bank, set int) {
+		p := c.ProbeLine(a)
+		return p.Bank, int(p.set)
+	}
+	// Overflow one set with dirty lines; every victim must reconstruct to
+	// the evicting set.
+	base := phys.Addr(0x400) // bank 1 granule
+	b0, s0 := probe(base)
+	stride := phys.Addr(c.SetsPerBank()) * phys.Addr(m.Period())
+	for i := 0; i <= cfg.Ways+2; i++ {
+		a := base + phys.Addr(i)*stride
+		res := c.Access(a, true)
+		if res.VictimDirty {
+			vb, vs := probe(res.Victim)
+			if vb != b0 || vs != s0 {
+				t.Fatalf("victim %#x reconstructs to bank/set %d/%d, want %d/%d", res.Victim, vb, vs, b0, s0)
+			}
+		}
+	}
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("overflow produced no writebacks — test exercised nothing")
+	}
+}
+
 func TestBankStatsAndReset(t *testing.T) {
-	c := New(small(), phys.T2Mapping{})
+	c := New(small(), phys.T2())
 	c.Access(0x40, false) // bank 1
 	bs := c.BankStats()
 	if bs[1].Misses != 1 {
@@ -189,7 +264,7 @@ func TestBadGeometryPanics(t *testing.T) {
 			t.Error("mismatched bank count did not panic")
 		}
 	}()
-	New(Config{SizeBytes: 1 << 20, Ways: 4, LineSize: 64, Banks: 4}, phys.T2Mapping{})
+	New(Config{SizeBytes: 1 << 20, Ways: 4, LineSize: 64, Banks: 4}, phys.T2())
 }
 
 // countingMapping wraps the T2 bit layout behind a pure interface (it does
@@ -238,8 +313,8 @@ func TestOneBankComputationPerAccess(t *testing.T) {
 // ProbeLine/Commit path, and requires identical results and state.
 func TestProbeCommitMatchesAccess(t *testing.T) {
 	f := func(raw []uint16, writes []bool) bool {
-		a := New(small(), phys.T2Mapping{})
-		b := New(small(), phys.T2Mapping{})
+		a := New(small(), phys.T2())
+		b := New(small(), phys.T2())
 		n := len(raw)
 		if len(writes) < n {
 			n = len(writes)
@@ -267,7 +342,7 @@ func TestProbeCommitMatchesAccess(t *testing.T) {
 // hot path: steady-state probes, hits, misses and dirty evictions must all
 // be allocation-free.
 func TestAccessPathDoesNotAllocate(t *testing.T) {
-	c := New(small(), phys.T2Mapping{})
+	c := New(small(), phys.T2())
 	// Warm past the compulsory region so the measured loop sees hits,
 	// misses and dirty writebacks.
 	for i := 0; i < 4096; i++ {

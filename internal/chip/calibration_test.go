@@ -6,6 +6,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/chip"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/omp"
 	"repro/internal/phys"
 )
@@ -14,14 +15,17 @@ import (
 // yet small enough for fast tests: 3 x 2 MB = 6 MB.
 const calN = 1 << 18
 
+// t2cfg returns the calibrated machine every calibration check targets.
+func t2cfg() chip.Config { return machine.MustGet("t2").Config }
+
 func runTriad(t *testing.T, offsetWords int64, threads int) chip.Result {
 	t.Helper()
 	sp := alloc.NewSpace()
 	bases := sp.Common(3, calN+offsetWords, phys.WordSize)
 	k := kernels.StreamTriad(bases[0], bases[1], bases[2], calN)
-	m := chip.New(chip.Default())
+	m := chip.New(t2cfg())
 	p := k.Program(omp.StaticBlock{}, threads)
-	p.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+	p.WarmLines = t2cfg().L2.SizeBytes / phys.LineSize
 	return m.Run(p)
 }
 
@@ -110,9 +114,9 @@ func TestCalibrationCopy(t *testing.T) {
 	sp := alloc.NewSpace()
 	bases := sp.Common(3, calN+13, phys.WordSize)
 	k := kernels.StreamCopy(bases[2], bases[0], calN)
-	m := chip.New(chip.Default())
+	m := chip.New(t2cfg())
 	p := k.Program(omp.StaticBlock{}, 64)
-	p.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+	p.WarmLines = t2cfg().L2.SizeBytes / phys.LineSize
 	r := m.Run(p)
 	if r.GBps < 8.0 || r.GBps > 14.0 {
 		t.Errorf("copy reported bandwidth = %.2f GB/s, want ~11", r.GBps)
@@ -129,9 +133,9 @@ func TestCalibrationLoadOnly(t *testing.T) {
 	sp := alloc.NewSpace()
 	bases := sp.OffsetBases(4, calN*phys.WordSize, phys.PageSize, 128)
 	k := kernels.LoadSum(bases, calN)
-	m := chip.New(chip.Default())
+	m := chip.New(t2cfg())
 	p := k.Program(omp.StaticBlock{}, 64)
-	p.WarmLines = chip.Default().L2.SizeBytes / phys.LineSize
+	p.WarmLines = t2cfg().L2.SizeBytes / phys.LineSize
 	load := m.Run(p)
 	triad := runTriad(t, 13, 64)
 	if load.ActualGBps <= triad.ActualGBps {

@@ -1,5 +1,9 @@
 // Package chip assembles the substrates into a cycle-approximate
-// UltraSPARC T2 machine model and runs kernel programs on it.
+// multi-core machine model and runs kernel programs on it. Config is a
+// full machine description — topology, latencies, cache and controller
+// geometry, address interleave; the named, validated configurations
+// (the calibrated UltraSPARC T2 and its controller-scaling variants) live
+// in the internal/machine profile registry.
 //
 // Execution model: every simulated software thread is pinned to one
 // hardware strand (distributed equidistantly across the eight cores, as in
@@ -60,26 +64,6 @@ type Config struct {
 	// benchmark), which demonstrates that phase coherence is a necessary
 	// ingredient of the effect.
 	RunAhead int64
-}
-
-// Default returns the calibrated T2 configuration (see DESIGN.md Sect. 6).
-func Default() Config {
-	return Config{
-		Cores:          8,
-		StrandsPerCore: 8,
-		GroupsPerCore:  2,
-		ClockHz:        1.2e9,
-		XbarLatency:    3,
-		L2HitLatency:   20,
-		L2BankService:  4,
-		L2:             cache.T2L2(),
-		Mem:            mem.T2Defaults(),
-		Mapping:        phys.T2Mapping{},
-		MSHRPerStrand:  1,
-		StoreBuffer:    8,
-		RetryDelay:     24,
-		RunAhead:       2,
-	}
 }
 
 // MaxThreads returns the hardware strand count.
@@ -443,11 +427,16 @@ func (rs *runState) step(s *strand) {
 // Run executes prog to completion and reports aggregate performance.
 func (m *Machine) Run(prog *trace.Program) Result {
 	n := len(prog.Gens)
+	// Validate the team size against the machine topology up front: Place
+	// wraps thread indices modulo the core count, so an oversized team would
+	// otherwise be silently co-scheduled onto already-occupied strands and
+	// quietly misreport every per-strand stall and placement result.
 	if n == 0 {
 		panic("chip: program with no threads")
 	}
-	if n > m.cfg.MaxThreads() {
-		panic(fmt.Sprintf("chip: %d threads exceed %d hardware strands", n, m.cfg.MaxThreads()))
+	if max := m.cfg.MaxThreads(); n > max {
+		panic(fmt.Sprintf("chip: team of %d threads exceeds the machine's %d hardware strands (%d cores x %d strands); shrink the team or pick a larger machine profile",
+			n, max, m.cfg.Cores, m.cfg.StrandsPerCore))
 	}
 	rs := &runState{
 		cfg:      m.cfg,

@@ -1,9 +1,12 @@
 package chip
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/mem"
 	"repro/internal/phys"
 	"repro/internal/trace"
 )
@@ -48,7 +51,7 @@ func prog(gens ...trace.Generator) *trace.Program {
 }
 
 func TestSingleLoadLatency(t *testing.T) {
-	cfg := Default()
+	cfg := t2cfg()
 	m := New(cfg)
 	r := m.Run(prog(&scripted{items: []trace.Item{loads(0x10000)}}))
 	// xbar + bank + read service + memory latency + xbar.
@@ -59,10 +62,10 @@ func TestSingleLoadLatency(t *testing.T) {
 }
 
 func TestL2HitFasterThanMiss(t *testing.T) {
-	m := New(Default())
+	m := New(t2cfg())
 	r := m.Run(prog(&scripted{items: []trace.Item{loads(0x10000), loads(0x10000)}}))
-	miss := Default().XbarLatency + Default().L2BankService + Default().Mem.ReadService + Default().Mem.Latency + Default().XbarLatency
-	hit := Default().XbarLatency + Default().L2HitLatency + Default().XbarLatency
+	miss := t2cfg().XbarLatency + t2cfg().L2BankService + t2cfg().Mem.ReadService + t2cfg().Mem.Latency + t2cfg().XbarLatency
+	hit := t2cfg().XbarLatency + t2cfg().L2HitLatency + t2cfg().XbarLatency
 	if r.Cycles != miss+hit {
 		t.Errorf("miss+hit took %d cycles, want %d", r.Cycles, miss+hit)
 	}
@@ -84,7 +87,7 @@ func TestDeterminism(t *testing.T) {
 		}
 		return prog(gens...)
 	}
-	m := New(Default())
+	m := New(t2cfg())
 	r1 := m.Run(mk())
 	r2 := m.Run(mk())
 	if r1.Cycles != r2.Cycles || r1.Units != r2.Units {
@@ -95,7 +98,7 @@ func TestDeterminism(t *testing.T) {
 func TestPostedStoresDoNotBlock(t *testing.T) {
 	// A burst of 4 stores to distinct lines completes in far less than 4
 	// memory round trips: the strand only pays bank occupancy.
-	cfg := Default()
+	cfg := t2cfg()
 	m := New(cfg)
 	r := m.Run(prog(&scripted{items: []trace.Item{
 		stores(0x10000, 0x10040, 0x10080, 0x100c0),
@@ -113,13 +116,13 @@ func TestStoreBufferBackpressure(t *testing.T) {
 	for k := 0; k < 16; k++ {
 		items = append(items, stores(phys.Addr(0x10000+k*64)))
 	}
-	cfg1 := Default()
+	cfg1 := t2cfg()
 	cfg1.StoreBuffer = 1
 	r1 := New(cfg1).Run(prog(&scripted{items: items}))
 
 	items2 := make([]trace.Item, len(items))
 	copy(items2, items)
-	cfg8 := Default()
+	cfg8 := t2cfg()
 	r8 := New(cfg8).Run(prog(&scripted{items: items2}))
 	if r1.Cycles <= r8.Cycles {
 		t.Errorf("store buffer 1 (%d cycles) not slower than 8 (%d)", r1.Cycles, r8.Cycles)
@@ -137,15 +140,15 @@ func TestMSHRAblationOverlapsLoads(t *testing.T) {
 			loads(0x10000, 0x20000, 0x30000, 0x40000),
 		}})
 	}
-	cfg1 := Default()
+	cfg1 := t2cfg()
 	r1 := New(cfg1).Run(mk())
-	cfg4 := Default()
+	cfg4 := t2cfg()
 	cfg4.MSHRPerStrand = 4
 	r4 := New(cfg4).Run(mk())
 	if r4.Cycles >= r1.Cycles {
 		t.Errorf("4 MSHRs (%d cycles) not faster than 1 (%d)", r4.Cycles, r1.Cycles)
 	}
-	if r1.Cycles < 4*Default().Mem.Latency {
+	if r1.Cycles < 4*t2cfg().Mem.Latency {
 		t.Errorf("1 MSHR did not serialize: %d cycles", r1.Cycles)
 	}
 }
@@ -168,11 +171,11 @@ func TestRunAheadWindowCouplesStrands(t *testing.T) {
 		}
 		return &scripted{items: items}
 	}
-	cfg := Default()
+	cfg := t2cfg()
 	cfg.RunAhead = 2
 	r := New(cfg).Run(prog(mkFast(), mkSlow()))
 
-	cfgFree := Default()
+	cfgFree := t2cfg()
 	cfgFree.RunAhead = 0
 	rFree := New(cfgFree).Run(prog(mkFast(), mkSlow()))
 
@@ -214,10 +217,10 @@ func TestXORMappingRemovesAliasing(t *testing.T) {
 		}
 		return prog(gens...)
 	}
-	t2 := New(Default())
+	t2 := New(t2cfg())
 	rT2 := t2.Run(mk())
 
-	cfgX := Default()
+	cfgX := t2cfg()
 	cfgX.Mapping = phys.XORMapping{}
 	rX := New(cfgX).Run(mk())
 	if rX.GBps < 1.5*rT2.GBps {
@@ -226,7 +229,7 @@ func TestXORMappingRemovesAliasing(t *testing.T) {
 }
 
 func TestPlacementEquidistant(t *testing.T) {
-	cfg := Default()
+	cfg := t2cfg()
 	counts := make(map[int]int)
 	for th := 0; th < 16; th++ {
 		core, group := cfg.Place(th)
@@ -243,7 +246,7 @@ func TestPlacementEquidistant(t *testing.T) {
 }
 
 func TestResultDerivedMetrics(t *testing.T) {
-	m := New(Default())
+	m := New(t2cfg())
 	r := m.Run(prog(&scripted{items: []trace.Item{
 		{Units: 8, RepBytes: 192, Acc: []trace.Access{{Addr: 0x10000}}},
 	}}))
@@ -256,7 +259,7 @@ func TestResultDerivedMetrics(t *testing.T) {
 }
 
 func TestTooManyThreadsPanics(t *testing.T) {
-	m := New(Default())
+	m := New(t2cfg())
 	gens := make([]trace.Generator, 65)
 	for i := range gens {
 		gens[i] = &scripted{}
@@ -264,6 +267,38 @@ func TestTooManyThreadsPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("65 threads on 64 strands did not panic")
+		}
+	}()
+	m.Run(prog(gens...))
+}
+
+// TestTeamSizeValidationNamesTheTopology pins the team-size check against
+// Config.MaxThreads: an oversized team must fail loudly with the machine's
+// topology in the message — never be silently wrapped onto occupied
+// strands — and the check must follow the configured topology, not the
+// default one.
+func TestTeamSizeValidationNamesTheTopology(t *testing.T) {
+	cfg := t2cfg()
+	cfg.Cores = 2
+	cfg.StrandsPerCore = 4
+	m := New(cfg)
+	gens := make([]trace.Generator, 9) // one more than 2x4 strands
+	for i := range gens {
+		gens[i] = &scripted{}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("9 threads on 8 strands did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want a message", r, r)
+		}
+		for _, frag := range []string{"9 threads", "8 hardware strands", "2 cores", "4 strands"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic message %q does not name %q", msg, frag)
+			}
 		}
 	}()
 	m.Run(prog(gens...))
@@ -308,7 +343,7 @@ func TestRunLoopAllocationsDoNotScaleWithWork(t *testing.T) {
 			}
 			p := prog(gens...)
 			p.WarmLines = 1024
-			New(Default()).Run(p)
+			New(t2cfg()).Run(p)
 		}
 	}
 	const rounds = 5
@@ -319,5 +354,28 @@ func TestRunLoopAllocationsDoNotScaleWithWork(t *testing.T) {
 	// boxing; allow a small fixed slack for runtime noise.
 	if delta := big - base; delta > 64 {
 		t.Errorf("4x work grew run allocations by %.0f (from %.0f to %.0f); hot path is no longer allocation-free", delta, base, big)
+	}
+}
+
+// t2cfg is the calibrated T2 machine the historical chip tests were
+// written against. It mirrors the "t2" profile in internal/machine, which
+// cannot be imported here without an import cycle; the machine package's
+// TestT2ProfileMatchesCalibratedConfig pins the two to each other.
+func t2cfg() Config {
+	return Config{
+		Cores:          8,
+		StrandsPerCore: 8,
+		GroupsPerCore:  2,
+		ClockHz:        1.2e9,
+		XbarLatency:    3,
+		L2HitLatency:   20,
+		L2BankService:  4,
+		L2:             cache.Derive(4<<20, 16, phys.T2()),
+		Mem:            mem.Defaults(),
+		Mapping:        phys.T2(),
+		MSHRPerStrand:  1,
+		StoreBuffer:    8,
+		RetryDelay:     24,
+		RunAhead:       2,
 	}
 }

@@ -22,9 +22,11 @@ type MachineSpec struct {
 	LineSize int64
 }
 
-// T2Spec returns the UltraSPARC T2 machine description.
-func T2Spec() MachineSpec {
-	return MachineSpec{Mapping: phys.T2Mapping{}, LineSize: phys.LineSize}
+// SpecFor returns the analyzer's view of a machine from its address
+// mapping alone; the machine-profile registry (internal/machine) exposes
+// the same thing per profile via Profile.Spec.
+func SpecFor(m phys.Mapping) MachineSpec {
+	return MachineSpec{Mapping: m, LineSize: phys.LineSize}
 }
 
 // Period returns the controller-interleave period in bytes, falling back

@@ -9,7 +9,7 @@ import (
 )
 
 func TestUtilizationConvoy(t *testing.T) {
-	ms := T2Spec()
+	ms := t2spec()
 	// Three congruent streams: every access at one controller per step.
 	ss := StreamSet{Bases: []phys.Addr{0, 2 << 20, 4 << 20}, Stride: 64}
 	u := Utilization(ms, ss, 0)
@@ -29,7 +29,7 @@ func TestUtilizationConvoy(t *testing.T) {
 }
 
 func TestUtilizationUniform(t *testing.T) {
-	ms := T2Spec()
+	ms := t2spec()
 	ss := StreamSet{Bases: []phys.Addr{0, 128, 256, 384}, Stride: 64}
 	if c := MeanConcurrency(ms, ss, 0); c != 4 {
 		t.Errorf("planned streams concurrency %f, want 4", c)
@@ -43,7 +43,7 @@ func TestUtilizationUniform(t *testing.T) {
 }
 
 func TestPlanArrayOffsetsRecipe(t *testing.T) {
-	p := PlanArrayOffsets(T2Spec(), 4)
+	p := PlanArrayOffsets(t2spec(), 4)
 	want := []int64{0, 128, 256, 384}
 	for i, o := range p.Offsets {
 		if o != want[i] {
@@ -56,7 +56,7 @@ func TestPlanArrayOffsetsRecipe(t *testing.T) {
 }
 
 func TestPlanArrayOffsetsAlwaysUniformProperty(t *testing.T) {
-	ms := T2Spec()
+	ms := t2spec()
 	f := func(s uint8) bool {
 		streams := int(s%4) + 1
 		p := PlanArrayOffsets(ms, streams)
@@ -68,14 +68,14 @@ func TestPlanArrayOffsetsAlwaysUniformProperty(t *testing.T) {
 }
 
 func TestPlanRows(t *testing.T) {
-	rp := PlanRows(T2Spec())
+	rp := PlanRows(t2spec())
 	if rp.SegAlign != 512 || rp.Shift != 128 || rp.Schedule != "static,1" {
 		t.Errorf("row plan %+v, want 512/128/static,1", rp)
 	}
 }
 
 func TestPhaseSpreadLBMLayouts(t *testing.T) {
-	ms := T2Spec()
+	ms := t2spec()
 	// IvJK at N=64: stride = (N+2)*8 = 528 bytes: spreads.
 	// IJKv at N=62: stride = 64^3*8: all streams congruent.
 	// One padded row = 528 bytes = 16 mod 512: the 19 stream phases fan
@@ -93,7 +93,7 @@ func TestPhaseSpreadLBMLayouts(t *testing.T) {
 }
 
 func TestExplainStreamOffset(t *testing.T) {
-	ms := T2Spec()
+	ms := t2spec()
 	phases, regime := ExplainStreamOffset(ms, 1<<25, 0)
 	if regime != "convoy" {
 		t.Errorf("offset 0 regime %q", regime)
@@ -138,3 +138,7 @@ func TestXORMappingDefeatsConvoys(t *testing.T) {
 		t.Errorf("hashed mapping concurrency %f, want > 1.5", c)
 	}
 }
+
+// t2spec is the T2 machine description the historical tests were written
+// against.
+func t2spec() MachineSpec { return SpecFor(phys.T2()) }

@@ -198,10 +198,15 @@ type Result struct {
 type Experiment struct {
 	Name string
 	Doc  string
-	Cfg  chip.Config
-	Grid Grid
-	Keep func(Point) bool
-	Run  func(chip.Config, Point) (Result, error)
+	// Machine names the machine profile the sweep runs on; it is stamped
+	// into the outcome's JSON so BENCH trajectories record which machine
+	// produced them. Empty means the default (t2) machine and is omitted
+	// from the JSON, keeping historical trajectories byte-stable.
+	Machine string
+	Cfg     chip.Config
+	Grid    Grid
+	Keep    func(Point) bool
+	Run     func(chip.Config, Point) (Result, error)
 }
 
 // Points expands the experiment's grid through its keep predicate.
@@ -220,6 +225,7 @@ type PointResult struct {
 type Outcome struct {
 	Experiment string        `json:"experiment"`
 	Doc        string        `json:"doc,omitempty"`
+	Machine    string        `json:"machine,omitempty"`
 	Points     []PointResult `json:"points"`
 }
 

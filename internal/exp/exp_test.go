@@ -196,3 +196,35 @@ func TestRunnerNoRunClosure(t *testing.T) {
 		t.Fatal("nil Run closure accepted")
 	}
 }
+
+// TestMachineStampInJSON pins the profile-stamping contract: a named
+// machine appears as a "machine" field in the trajectory, and the default
+// (empty) machine is omitted entirely, keeping historical BENCH_*.json
+// files byte-stable.
+func TestMachineStampInJSON(t *testing.T) {
+	e := synthetic(nil)
+	plain, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"machine"`) {
+		t.Error("default machine leaked a machine field into the JSON")
+	}
+
+	e.Machine = "mc8"
+	stamped, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = stamped.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"machine": "mc8"`) {
+		t.Error("named machine not stamped into the JSON trajectory")
+	}
+}

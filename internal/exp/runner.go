@@ -76,7 +76,7 @@ func (r Runner) Run(e Experiment) (Outcome, error) {
 			e.Name, first.index, describe(pts[first.index]), first.err, len(errs), len(pts))
 	}
 
-	out := Outcome{Experiment: e.Name, Doc: e.Doc, Points: make([]PointResult, len(pts))}
+	out := Outcome{Experiment: e.Name, Doc: e.Doc, Machine: e.Machine, Points: make([]PointResult, len(pts))}
 	for i, p := range pts {
 		out.Points[i] = PointResult{Index: i, Params: p.Params, Result: results[i]}
 	}

@@ -1,5 +1,7 @@
-// Package mem models the T2's four dual-channel FB-DIMM memory
-// controllers. FB-DIMM links are unidirectional: reads return on the
+// Package mem models dual-channel FB-DIMM memory controllers — four on
+// the T2, but the controller count is taken from the address mapping, so
+// machine profiles with one, two or eight controllers reuse the same
+// model. FB-DIMM links are unidirectional: reads return on the
 // northbound lanes, writes are pushed on the southbound lanes, so each
 // controller is modeled as two FCFS channel cursors. Writes additionally
 // steal WriteCouple cycles of northbound occupancy (command/turnaround
@@ -32,9 +34,12 @@ type Config struct {
 	QueueDepth int64
 }
 
-// T2Defaults returns timings calibrated so that the simulated chip lands in
-// the paper's measured ranges (see DESIGN.md Sect. 6).
-func T2Defaults() Config {
+// Defaults returns the FB-DIMM channel timings calibrated so that the
+// simulated chip lands in the paper's measured ranges (see DESIGN.md
+// Sect. 6). The timings are per-channel properties, independent of how
+// many controllers an address interleave spreads them over, so every
+// machine profile shares them.
+func Defaults() Config {
 	return Config{ReadService: 15, WriteService: 15, WriteCouple: 4, Latency: 160, QueueDepth: 8}
 }
 

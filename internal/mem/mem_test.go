@@ -11,7 +11,7 @@ func cfg() Config {
 }
 
 func TestReadTiming(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	if done := s.Read(0, 0); done != 110 {
 		t.Errorf("first read done at %d, want service+latency=110", done)
 	}
@@ -26,7 +26,7 @@ func TestReadTiming(t *testing.T) {
 }
 
 func TestWriteIsPostedAndCouples(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	s.Write(0, 0) // occupies southbound, couples 4 cycles northbound
 	if done := s.Read(0, 0); done != 114 {
 		t.Errorf("read after write done at %d, want couple(4)+service(10)+latency(100)=114", done)
@@ -41,8 +41,8 @@ func TestLoadOnlyAvoidsCoupling(t *testing.T) {
 	// The Sect. 2.1 conjecture: load-dominated kernels avoid bidirectional
 	// overhead. n reads with writes interleaved must take longer than n
 	// reads alone.
-	a := New(cfg(), phys.T2Mapping{})
-	b := New(cfg(), phys.T2Mapping{})
+	a := New(cfg(), phys.T2())
+	b := New(cfg(), phys.T2())
 	var lastA, lastB int64
 	for i := 0; i < 10; i++ {
 		lastA = a.Read(0, 0)
@@ -55,7 +55,7 @@ func TestLoadOnlyAvoidsCoupling(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	for i := 0; i < 4; i++ {
 		s.Read(0, 0)
 	}
@@ -75,7 +75,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestUtilizationAndBusy(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	s.Read(0, 0)
 	s.Read(0, 0)
 	u := s.Utilization(100)
@@ -91,7 +91,7 @@ func TestUtilizationAndBusy(t *testing.T) {
 }
 
 func TestControllerSelectionByMapping(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	// 0x000 -> ctl 0, 0x080 -> ctl 1, 0x100 -> ctl 2, 0x180 -> ctl 3.
 	for i, a := range []phys.Addr{0x000, 0x080, 0x100, 0x180} {
 		s.Read(0, a)
@@ -102,7 +102,7 @@ func TestControllerSelectionByMapping(t *testing.T) {
 }
 
 func TestResetClearsState(t *testing.T) {
-	s := New(cfg(), phys.T2Mapping{})
+	s := New(cfg(), phys.T2())
 	s.Read(0, 0)
 	s.Reset()
 	if s.BusyCycles() != 0 || s.MaxFreeAt() != 0 {

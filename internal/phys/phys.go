@@ -2,14 +2,20 @@
 // address arithmetic, cache-line and page geometry, and the policies that
 // map a physical address to a memory controller and an L2 cache bank.
 //
-// The UltraSPARC T2 policy reproduced here is the one described in Sect. 1
-// of the paper: bits 8 and 7 of the physical address select one of the four
-// memory controllers, bit 6 selects one of the two L2 banks attached to
-// that controller. Consecutive 64-byte cache lines are therefore served by
-// consecutive banks and controllers with a 512-byte period.
+// Nothing about the paper's central mechanism is specific to one chip: any
+// machine whose controller is selected by a fixed bit field of the physical
+// address exhibits the same congruence effects, with the period set by the
+// field position and width. Interleave captures that whole family as one
+// parameterized, constructor-validated mapping; the UltraSPARC T2 policy of
+// the paper's Sect. 1 — bits 8:7 select one of four memory controllers,
+// bit 6 one of the two L2 banks attached to it, for a 512-byte period — is
+// the T2() instance.
 package phys
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a physical byte address in the simulated machine.
 type Addr uint64
@@ -70,29 +76,92 @@ type Mapping interface {
 	Name() string
 }
 
-// T2Mapping is the documented UltraSPARC T2 address interleave: bits 8:7
-// select the controller, bit 6 the bank within the controller pair, so the
-// global bank index is bits 8:6.
-type T2Mapping struct{}
+// Interleave is the parameterized bit-field address interleave: BankBits
+// address bits starting at BankShift pick the bank within a controller,
+// and CtrlBits bits directly above them (at CtrlShift) pick the
+// controller. The global bank index is the whole CtrlBits+BankBits field
+// at BankShift, so consecutive granules of 1<<BankShift bytes are served
+// by consecutive banks and controllers with a period of
+// granule x banks-per-controller x controllers bytes.
+//
+// Every machine in this family is FieldMapper-compatible: the hot paths in
+// cache and mem devirtualize it to two shift/mask extractions. Build
+// instances with NewInterleave, which validates the geometry; the zero
+// value is invalid.
+type Interleave struct {
+	Label     string // mapping name, reported by Name
+	BankShift uint   // log2 of the interleave granule in bytes
+	BankBits  uint   // log2 of banks per controller
+	CtrlShift uint   // bit position of the controller field: BankShift+BankBits
+	CtrlBits  uint   // log2 of controllers
+}
 
-// Controller returns bits 8:7 of the address.
-func (T2Mapping) Controller(a Addr) int { return int(a>>7) & 3 }
+// NewInterleave builds a validated interleave: granule bytes (a power of
+// two, at least one cache line) go to each bank in turn, banksPerCtrl
+// banks per controller, controllers controllers (both powers of two). It
+// panics on impossible geometry, since a silently wrong interleave would
+// invalidate every placement result computed on top of it.
+func NewInterleave(label string, granule int64, controllers, banksPerCtrl int) Interleave {
+	if granule < LineSize || granule&(granule-1) != 0 {
+		panic(fmt.Sprintf("phys: interleave granule %d is not a power of two >= the %d-byte line", granule, LineSize))
+	}
+	if controllers <= 0 || controllers&(controllers-1) != 0 {
+		panic(fmt.Sprintf("phys: controller count %d is not a positive power of two", controllers))
+	}
+	if banksPerCtrl <= 0 || banksPerCtrl&(banksPerCtrl-1) != 0 {
+		panic(fmt.Sprintf("phys: banks-per-controller %d is not a positive power of two", banksPerCtrl))
+	}
+	if label == "" {
+		panic("phys: interleave needs a label")
+	}
+	bankShift := uint(bits.TrailingZeros64(uint64(granule)))
+	bankBits := uint(bits.TrailingZeros64(uint64(banksPerCtrl)))
+	return Interleave{
+		Label:     label,
+		BankShift: bankShift,
+		BankBits:  bankBits,
+		CtrlShift: bankShift + bankBits,
+		CtrlBits:  uint(bits.TrailingZeros64(uint64(controllers))),
+	}
+}
 
-// Bank returns bits 8:6 of the address: two consecutive lines map to the
-// two banks of one controller, then the interleave moves on.
-func (T2Mapping) Bank(a Addr) int { return int(a>>6) & 7 }
+// T2 returns the documented UltraSPARC T2 address interleave: 4
+// controllers x 2 banks x 64-byte granules, i.e. controller = bits 8:7,
+// global bank = bits 8:6, period 512 bytes.
+func T2() Interleave { return NewInterleave("t2", LineSize, 4, 2) }
 
-// Controllers returns 4.
-func (T2Mapping) Controllers() int { return 4 }
+// Single returns the degenerate one-controller, one-bank interleave used
+// as the no-interleaving baseline.
+func Single() Interleave { return NewInterleave("single", LineSize, 1, 1) }
 
-// Banks returns 8.
-func (T2Mapping) Banks() int { return 8 }
+// Controller returns the CtrlBits-wide field at CtrlShift.
+func (iv Interleave) Controller(a Addr) int {
+	return int(uint64(a)>>iv.CtrlShift) & (1<<iv.CtrlBits - 1)
+}
 
-// Period returns 512 bytes: 4 controllers x 2 banks x 64-byte lines.
-func (T2Mapping) Period() int64 { return 512 }
+// Bank returns the global bank index: the CtrlBits+BankBits-wide field at
+// BankShift, so two granules under one controller are followed by the next
+// controller's granules.
+func (iv Interleave) Bank(a Addr) int {
+	return int(uint64(a)>>iv.BankShift) & (1<<(iv.BankBits+iv.CtrlBits) - 1)
+}
 
-// Name returns "t2".
-func (T2Mapping) Name() string { return "t2" }
+// Controllers returns the number of memory controllers.
+func (iv Interleave) Controllers() int { return 1 << iv.CtrlBits }
+
+// Banks returns the global bank count: controllers x banks-per-controller.
+func (iv Interleave) Banks() int { return 1 << (iv.BankBits + iv.CtrlBits) }
+
+// Granule returns the bytes served by one bank before the interleave moves
+// on — one cache line on the T2, more for coarse interleaves.
+func (iv Interleave) Granule() int64 { return 1 << iv.BankShift }
+
+// Period returns the spatial period of the controller interleave:
+// granule x banks.
+func (iv Interleave) Period() int64 { return int64(1) << (iv.BankShift + iv.BankBits + iv.CtrlBits) }
+
+// Name returns the label.
+func (iv Interleave) Name() string { return iv.Label }
 
 // XORMapping is an ablation policy: the controller and bank are selected by
 // XOR-folding many address bits, so regular strides no longer alias onto a
@@ -130,29 +199,6 @@ func (XORMapping) Period() int64 { return 0 }
 // Name returns "xor".
 func (XORMapping) Name() string { return "xor" }
 
-// SingleMapping routes every line to controller 0 / bank 0. It is the
-// degenerate baseline used by tests to check that the rest of the model
-// serializes correctly when no interleaving exists at all.
-type SingleMapping struct{}
-
-// Controller returns 0 for every address.
-func (SingleMapping) Controller(Addr) int { return 0 }
-
-// Bank returns 0 for every address.
-func (SingleMapping) Bank(Addr) int { return 0 }
-
-// Controllers returns 1.
-func (SingleMapping) Controllers() int { return 1 }
-
-// Banks returns 1.
-func (SingleMapping) Banks() int { return 1 }
-
-// Period returns LineSize: every line maps identically.
-func (SingleMapping) Period() int64 { return LineSize }
-
-// Name returns "single".
-func (SingleMapping) Name() string { return "single" }
-
 // FieldMapper is the optional fast-path contract for mappings whose
 // controller and bank are pure bit fields of the address. A mapping that
 // implements it lets Resolve extract a shift/mask pair, so the per-access
@@ -169,14 +215,11 @@ type FieldMapper interface {
 	Fields() (bankShift, bankMask, ctlShift, ctlMask uint64, ok bool)
 }
 
-// Fields returns the T2 bit fields: bank = bits 8:6, controller = bits 8:7.
-func (T2Mapping) Fields() (uint64, uint64, uint64, uint64, bool) {
-	return LineShift, 7, LineShift + 1, 3, true
-}
-
-// Fields returns the degenerate all-zero fields.
-func (SingleMapping) Fields() (uint64, uint64, uint64, uint64, bool) {
-	return 0, 0, 0, 0, true
+// Fields returns the interleave's bank and controller bit fields; every
+// Interleave takes the devirtualized fast path.
+func (iv Interleave) Fields() (uint64, uint64, uint64, uint64, bool) {
+	return uint64(iv.BankShift), uint64(1)<<(iv.BankBits+iv.CtrlBits) - 1,
+		uint64(iv.CtrlShift), uint64(1)<<iv.CtrlBits - 1, true
 }
 
 // Resolved is a devirtualized mapping handle, bound once at model
@@ -253,9 +296,7 @@ func (r Resolved) BankField() (shift, mask uint64, ok bool) {
 func (r Resolved) Fast() bool { return r.fast }
 
 var (
-	_ Mapping     = T2Mapping{}
+	_ Mapping     = Interleave{}
 	_ Mapping     = XORMapping{}
-	_ Mapping     = SingleMapping{}
-	_ FieldMapper = T2Mapping{}
-	_ FieldMapper = SingleMapping{}
+	_ FieldMapper = Interleave{}
 )

@@ -5,8 +5,88 @@ import (
 	"testing/quick"
 )
 
+// legacyT2 is the historical hand-written T2 mapping, kept here as the
+// bit-for-bit reference the parameterized Interleave must reproduce.
+type legacyT2 struct{}
+
+func (legacyT2) Controller(a Addr) int { return int(a>>7) & 3 }
+func (legacyT2) Bank(a Addr) int       { return int(a>>6) & 7 }
+func (legacyT2) Controllers() int      { return 4 }
+func (legacyT2) Banks() int            { return 8 }
+func (legacyT2) Period() int64         { return 512 }
+func (legacyT2) Name() string          { return "t2" }
+
+// legacySingle is the historical hand-written degenerate mapping.
+type legacySingle struct{}
+
+func (legacySingle) Controller(Addr) int { return 0 }
+func (legacySingle) Bank(Addr) int       { return 0 }
+func (legacySingle) Controllers() int    { return 1 }
+func (legacySingle) Banks() int          { return 1 }
+func (legacySingle) Period() int64       { return LineSize }
+func (legacySingle) Name() string        { return "single" }
+
+// TestInterleaveReproducesLegacyMappings is the exhaustive equivalence
+// pin for the machine-profile refactor: the parameterized Interleave
+// instances T2() and Single() must agree with the historical hand-written
+// mappings on every method, line by line, over a low window near zero and
+// a high window past bit 40 — several interleave periods each, so every
+// bank/controller phase is covered on both sides of the address space.
+func TestInterleaveReproducesLegacyMappings(t *testing.T) {
+	cases := []struct {
+		now Mapping
+		old Mapping
+	}{
+		{T2(), legacyT2{}},
+		{Single(), legacySingle{}},
+	}
+	for _, c := range cases {
+		if c.now.Controllers() != c.old.Controllers() || c.now.Banks() != c.old.Banks() {
+			t.Fatalf("%s: geometry %d/%d, legacy %d/%d", c.now.Name(),
+				c.now.Controllers(), c.now.Banks(), c.old.Controllers(), c.old.Banks())
+		}
+		if c.now.Period() != c.old.Period() {
+			t.Fatalf("%s: period %d, legacy %d", c.now.Name(), c.now.Period(), c.old.Period())
+		}
+		if c.now.Name() != c.old.Name() {
+			t.Fatalf("name %q, legacy %q", c.now.Name(), c.old.Name())
+		}
+		for _, base := range []Addr{0, 1 << 40} {
+			for off := Addr(0); off < Addr(8*c.now.Period()); off += LineSize {
+				a := base + off
+				if got, want := c.now.Controller(a), c.old.Controller(a); got != want {
+					t.Fatalf("%s: Controller(%#x) = %d, legacy %d", c.now.Name(), uint64(a), got, want)
+				}
+				if got, want := c.now.Bank(a), c.old.Bank(a); got != want {
+					t.Fatalf("%s: Bank(%#x) = %d, legacy %d", c.now.Name(), uint64(a), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleaveFieldsSurviveResolve pins the FieldMapper contract: the
+// declared fields of every profile-relevant interleave must pass Resolve's
+// exhaustive cross-validation and land on the devirtualized fast path.
+func TestInterleaveFieldsSurviveResolve(t *testing.T) {
+	for _, iv := range []Interleave{
+		T2(),
+		Single(),
+		NewInterleave("t2-1mc", LineSize, 1, 2),
+		NewInterleave("t2-2mc", LineSize, 2, 2),
+		NewInterleave("mc8", LineSize, 8, 2),
+		NewInterleave("t2-wide1k", 1024, 4, 2),
+		NewInterleave("t2-wide4k", 4096, 4, 2),
+	} {
+		r := Resolve(iv)
+		if !r.Fast() {
+			t.Errorf("%s: interleave did not resolve to the bit-field fast path", iv.Name())
+		}
+	}
+}
+
 func TestT2MappingBits(t *testing.T) {
-	m := T2Mapping{}
+	m := T2()
 	cases := []struct {
 		addr Addr
 		ctl  int
@@ -33,8 +113,74 @@ func TestT2MappingBits(t *testing.T) {
 	}
 }
 
+// TestInterleaveGeometry spot-checks the non-T2 instances the profile
+// registry builds on.
+func TestInterleaveGeometry(t *testing.T) {
+	cases := []struct {
+		iv          Interleave
+		ctls, banks int
+		period      int64
+	}{
+		{NewInterleave("t2-1mc", LineSize, 1, 2), 1, 2, 128},
+		{NewInterleave("t2-2mc", LineSize, 2, 2), 2, 4, 256},
+		{NewInterleave("mc8", LineSize, 8, 2), 8, 16, 1024},
+		{NewInterleave("t2-wide1k", 1024, 4, 2), 4, 8, 8192},
+		{NewInterleave("t2-wide4k", 4096, 4, 2), 4, 8, 32768},
+	}
+	for _, c := range cases {
+		if c.iv.Controllers() != c.ctls || c.iv.Banks() != c.banks || c.iv.Period() != c.period {
+			t.Errorf("%s: %d controllers / %d banks / period %d, want %d/%d/%d", c.iv.Name(),
+				c.iv.Controllers(), c.iv.Banks(), c.iv.Period(), c.ctls, c.banks, c.period)
+		}
+		// Period property: the controller repeats exactly at the period and
+		// changes somewhere inside it (unless there is only one controller).
+		for k := int64(0); k < c.period; k += LineSize {
+			a := Addr(k)
+			if c.iv.Controller(a) != c.iv.Controller(a+Addr(c.period)) {
+				t.Fatalf("%s: controller not periodic at %#x", c.iv.Name(), k)
+			}
+		}
+	}
+	// A coarse interleave keeps whole granules on one controller.
+	wide := NewInterleave("t2-wide1k", 1024, 4, 2)
+	for k := int64(0); k < 1024; k += LineSize {
+		if wide.Controller(Addr(k)) != wide.Controller(0) || wide.Bank(Addr(k)) != wide.Bank(0) {
+			t.Fatalf("wide interleave splits a granule at offset %d", k)
+		}
+	}
+	if wide.Bank(1024) == wide.Bank(0) {
+		t.Error("wide interleave does not advance the bank at the granule boundary")
+	}
+}
+
+// TestNewInterleaveRejectsBadGeometry pins the constructor validation.
+func TestNewInterleaveRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name               string
+		granule            int64
+		ctls, banksPerCtrl int
+	}{
+		{"granule below line", 32, 4, 2},
+		{"granule not power of two", 96, 4, 2},
+		{"controllers not power of two", 64, 3, 2},
+		{"zero controllers", 64, 0, 2},
+		{"banks not power of two", 64, 4, 3},
+		{"zero banks", 64, 4, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewInterleave did not panic", c.name)
+				}
+			}()
+			NewInterleave("bad", c.granule, c.ctls, c.banksPerCtrl)
+		}()
+	}
+}
+
 func TestT2MappingPeriodProperty(t *testing.T) {
-	m := T2Mapping{}
+	m := T2()
 	f := func(a uint32) bool {
 		addr := Addr(a)
 		return m.Controller(addr) == m.Controller(addr+Addr(m.Period())) &&
@@ -48,7 +194,7 @@ func TestT2MappingPeriodProperty(t *testing.T) {
 func TestConsecutiveLinesRotateBanks(t *testing.T) {
 	// "Consecutive 64-byte cache lines are served in turn by consecutive
 	// cache banks and memory controllers."
-	m := T2Mapping{}
+	m := T2()
 	for k := 0; k < 16; k++ {
 		a := Addr(k * LineSize)
 		if got, want := m.Bank(a), k%8; got != want {
@@ -61,7 +207,7 @@ func TestConsecutiveLinesRotateBanks(t *testing.T) {
 }
 
 func TestMappingRangesProperty(t *testing.T) {
-	for _, m := range []Mapping{T2Mapping{}, XORMapping{}, SingleMapping{}} {
+	for _, m := range []Mapping{T2(), XORMapping{}, Single(), NewInterleave("t2-wide4k", 4096, 4, 2)} {
 		m := m
 		f := func(a uint64) bool {
 			addr := Addr(a)
@@ -139,17 +285,17 @@ func TestLineOf(t *testing.T) {
 
 // lyingMapping declares bank bit fields that contradict its Bank method;
 // Resolve must refuse it rather than let the fast path silently diverge.
-type lyingMapping struct{ T2Mapping }
+type lyingMapping struct{ Interleave }
 
 func (lyingMapping) Fields() (uint64, uint64, uint64, uint64, bool) {
 	return LineShift + 1, 7, LineShift + 1, 3, true // bank field off by one bit
 }
 
 func TestResolveFastPathMatchesInterface(t *testing.T) {
-	for _, m := range []Mapping{T2Mapping{}, SingleMapping{}, XORMapping{}} {
+	for _, m := range []Mapping{T2(), Single(), XORMapping{}, NewInterleave("t2-wide1k", 1024, 4, 2)} {
 		r := Resolve(m)
 		for _, base := range []Addr{0, 1 << 21, 1 << 40} {
-			for off := Addr(0); off < 4096; off += LineSize {
+			for off := Addr(0); off < 65536; off += LineSize {
 				a := base + off
 				if r.Bank(a) != m.Bank(a) {
 					t.Fatalf("%s: Resolved.Bank(%#x) = %d, interface says %d", m.Name(), uint64(a), r.Bank(a), m.Bank(a))
@@ -163,11 +309,11 @@ func TestResolveFastPathMatchesInterface(t *testing.T) {
 }
 
 func TestResolveFastPathSelection(t *testing.T) {
-	if !Resolve(T2Mapping{}).Fast() {
-		t.Error("T2Mapping should resolve to the bit-field fast path")
+	if !Resolve(T2()).Fast() {
+		t.Error("the T2 interleave should resolve to the bit-field fast path")
 	}
-	if !Resolve(SingleMapping{}).Fast() {
-		t.Error("SingleMapping should resolve to the bit-field fast path")
+	if !Resolve(Single()).Fast() {
+		t.Error("the single interleave should resolve to the bit-field fast path")
 	}
 	if Resolve(XORMapping{}).Fast() {
 		t.Error("XORMapping must fall back to the interface path")
@@ -180,5 +326,5 @@ func TestResolveRejectsLyingFieldMapper(t *testing.T) {
 			t.Error("Resolve accepted a FieldMapper whose fields contradict its methods")
 		}
 	}()
-	Resolve(lyingMapping{})
+	Resolve(lyingMapping{Interleave: T2()})
 }
