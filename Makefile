@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet build test test-race test-full bench bench-smoke figures clean
+.PHONY: ci fmt vet build test test-race test-full bench bench-smoke bench-diff figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -38,10 +38,22 @@ test-full:
 
 # bench runs the figure benchmarks and records the perf trajectory
 # (ns/op, allocs/op, simulated cycles and accesses per second) as
-# canonical JSON in BENCH_perf.json.
+# canonical JSON in BENCH_perf.json. Three iterations per benchmark:
+# ns/op is still the per-iteration mean, but shared-runner noise
+# averages out instead of landing verbatim in the committed trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_perf.json
+
+# bench-diff measures a fresh perf trajectory and compares it against the
+# committed BENCH_perf.json: more than a 20% drop in accesses/s or any
+# growth in allocs/op fails. CI runs it as a non-blocking step, so perf
+# drift is visible per change without flaking the build on noisy runners.
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_perf.fresh.json
+	$(GO) run ./cmd/benchdiff -base BENCH_perf.json -fresh BENCH_perf.fresh.json
+	rm -f BENCH_perf.fresh.json
 
 # bench-smoke is the CI tier: one short benchmark iteration through the
 # same JSON pipeline, to catch benchmark and tooling build rot.

@@ -24,10 +24,12 @@ func mean(ys []float64) float64 { return stats.Summarize(ys).Mean }
 // simTotals accumulates a sweep's simulation telemetry across benchmark
 // iterations and reports it in units that survive hardware changes:
 // simulated cycles and simulated L2 line accesses retired per wallclock
-// second.
+// second, plus the fraction of simulated cycles the steady-state
+// fast-forward covered analytically.
 type simTotals struct {
 	cycles   int64
 	accesses int64
+	ffCycles int64
 }
 
 // run executes the experiment, folds its telemetry into the totals, and
@@ -35,8 +37,10 @@ type simTotals struct {
 func (st *simTotals) run(e exp.Experiment) []stats.Series {
 	out := exp.MustRun(e)
 	c, a := out.Totals()
+	_, fc := out.FastForwardTotals()
 	st.cycles += c
 	st.accesses += a
+	st.ffCycles += fc
 	return out.Series()
 }
 
@@ -47,6 +51,9 @@ func (st *simTotals) report(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.cycles)/secs, "simcycles/s")
 	b.ReportMetric(float64(st.accesses)/secs, "accesses/s")
+	if st.cycles > 0 {
+		b.ReportMetric(float64(st.ffCycles)/float64(st.cycles)*100, "ff-coverage-%")
+	}
 }
 
 // BenchmarkFig2StreamTriadOffsets regenerates the Fig. 2 offset sweep and

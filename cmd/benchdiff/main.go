@@ -1,0 +1,105 @@
+// Command benchdiff compares two BENCH_perf.json trajectories (as written
+// by cmd/benchjson) and fails on performance regressions: a drop of more
+// than the allowed fraction in simulated-access throughput (accesses/s),
+// or any growth at all in allocs/op. It is the gate behind `make
+// bench-diff`, wired into CI as a non-blocking step so perf drift is
+// visible on every change without flaking the build on noisy runners.
+//
+// Usage:
+//
+//	benchdiff [-max-drop 0.20] -base BENCH_perf.json -fresh BENCH_perf.fresh.json
+//
+// Benchmarks present in only one file are reported but never fail the
+// comparison, so adding or retiring benchmarks does not break the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type doc struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Benchmarks) == 0 {
+		return d, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return d, nil
+}
+
+func main() {
+	base := flag.String("base", "BENCH_perf.json", "committed baseline trajectory")
+	fresh := flag.String("fresh", "BENCH_perf.fresh.json", "freshly measured trajectory")
+	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional drop in accesses/s")
+	flag.Parse()
+
+	bd, err := load(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fd, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(bd.Benchmarks))
+	for n := range bd.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, n := range names {
+		b, f := bd.Benchmarks[n], fd.Benchmarks[n]
+		if f == nil {
+			fmt.Printf("%-40s missing from fresh run (skipped)\n", n)
+			continue
+		}
+		if ba, ok := b["accesses/s"]; ok && ba > 0 {
+			if fa, ok := f["accesses/s"]; ok {
+				rel := fa/ba - 1
+				status := "ok"
+				if rel < -*maxDrop {
+					status = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-40s accesses/s %12.0f -> %12.0f (%+6.1f%%) %s\n", n, ba, fa, rel*100, status)
+			}
+		}
+		if balloc, ok := b["allocs/op"]; ok {
+			if falloc, ok := f["allocs/op"]; ok {
+				status := "ok"
+				if falloc > balloc {
+					status = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-40s allocs/op  %12.0f -> %12.0f %s\n", n, balloc, falloc, status)
+			}
+		}
+	}
+	for n := range fd.Benchmarks {
+		if _, ok := bd.Benchmarks[n]; !ok {
+			fmt.Printf("%-40s new benchmark (no baseline)\n", n)
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — accesses/s dropped beyond the threshold or allocs/op grew")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

@@ -13,6 +13,7 @@
 //
 //	figures [-fig all|2|4|5|6|7|scaling|comma-list] [-scale full|small]
 //	        [-machine NAME] [-jobs N] [-json=false] [-out DIR]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //	figures -list
 //
 // -machine reruns the sweeps on another profile from the internal/machine
@@ -21,6 +22,8 @@
 // for other profiles (except the scaling study, which sweeps the machine
 // axis itself). -list prints the figure and machine-profile registries
 // and exits, so scenarios are discoverable without reading source.
+// -cpuprofile and -memprofile write pprof profiles covering the sweeps,
+// so performance claims about the simulator can be grounded in data.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/profiling"
 	"repro/internal/stats"
 )
 
@@ -47,7 +51,22 @@ func main() {
 	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
 	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
 	list := flag.Bool("list", false, "print the figure and machine-profile registries and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweeps) to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+	// fail flushes the profiles before exiting, so a failed sweep still
+	// leaves parseable profile files behind.
+	fail := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	var o bench.Options
 	switch *scale {
@@ -57,12 +76,12 @@ func main() {
 		o = bench.Small()
 	default:
 		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fail(2)
 	}
 	prof, err := machine.Get(*machineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(2)
+		fail(2)
 	}
 	o = o.WithProfile(prof)
 
@@ -72,7 +91,7 @@ func main() {
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		fail(1)
 	}
 
 	figures := bench.Figures(o)
@@ -89,7 +108,7 @@ func main() {
 			}
 			if !known[name] {
 				fmt.Fprintf(os.Stderr, "figures: no figure matches -fig %q\n", strings.TrimSpace(f))
-				os.Exit(2)
+				fail(2)
 			}
 			selected[name] = true
 		}
@@ -111,21 +130,24 @@ func main() {
 		outcome, err := runner.Run(f.Exp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
-			os.Exit(1)
+			fail(1)
 		}
 		fmt.Printf("== %s [machine %s] — %d points, %d jobs, %s ==\n",
 			f.Title, prof.Name, len(outcome.Points), *jobs, time.Since(start).Round(time.Millisecond))
 		series := outcome.Series()
 
 		csvPath := filepath.Join(*out, f.Name+".csv")
-		writeFile(csvPath, func(w *os.File) error {
+		if err := writeFile(csvPath, func(w *os.File) error {
 			return stats.WriteCSV(w, f.XLabel, series)
-		})
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			fail(1)
+		}
 		if *jsonOut {
 			jsonPath := filepath.Join(*out, "BENCH_"+f.Name+".json")
 			if err := outcome.WriteJSON(jsonPath); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
-				os.Exit(1)
+				fail(1)
 			}
 		}
 
@@ -143,7 +165,7 @@ func main() {
 	if failed {
 		fmt.Println(strings.Repeat("-", 40))
 		fmt.Println("one or more shape checks FAILED")
-		os.Exit(1)
+		fail(1)
 	}
 }
 
@@ -166,15 +188,11 @@ func printRegistries(o bench.Options) {
 	}
 }
 
-func writeFile(path string, fill func(*os.File) error) {
+func writeFile(path string, fill func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
-	if err := fill(f); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
-	}
+	return fill(f)
 }

@@ -134,7 +134,7 @@ func main() {
 			Doc:     "analyzer-predicted relative STREAM bandwidth vs COMMON-block offset",
 			Machine: machine.Tag(*mn),
 			Grid:    exp.Grid{exp.Span64("offset", 0, *max+1, *step)},
-			Run: func(_ chip.Config, p exp.Point) (exp.Result, error) {
+			Run: func(_ chip.Config, p exp.Point, _ *exp.Scratch) (exp.Result, error) {
 				off := p.Int64("offset")
 				ndim := *n + off
 				bases := []phys.Addr{0, phys.Addr(ndim * phys.WordSize), phys.Addr(2 * ndim * phys.WordSize)}

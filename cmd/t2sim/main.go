@@ -264,7 +264,7 @@ func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, j
 		Machine: machine.Tag(prof.Name),
 		Cfg:     cfg,
 		Grid:    exp.Grid{exp.Span64(axis, lo, hi+1, step)},
-		Run: func(cfg chip.Config, pt exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, pt exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			p := base
 			v := pt.Int64(axis)
 			switch axis {

@@ -139,11 +139,24 @@ func Small() Options {
 
 func (o Options) warmLines() int64 { return o.Cfg.L2.SizeBytes / phys.LineSize }
 
-// runProg builds a machine for the point's configuration and runs one
-// program; every experiment closure funnels through it.
-func runProg(cfg chip.Config, p *trace.Program, warm int64) chip.Result {
+// machineKey caches one reusable chip.Machine per configuration in a
+// worker's scratch; chip.Config is comparable, so the configuration itself
+// is the key.
+type machineKey struct{ cfg chip.Config }
+
+// machineFor returns the worker's reusable machine for cfg, building it on
+// the worker's first point. Machines reset completely between runs, so the
+// cached machine produces byte-identical results to a fresh one (pinned by
+// the chip reuse tests and the jobs=1-vs-N determinism regression).
+func machineFor(sc *exp.Scratch, cfg chip.Config) *chip.Machine {
+	return sc.Get(machineKey{cfg}, func() any { return chip.New(cfg) }).(*chip.Machine)
+}
+
+// runProg runs one program on the worker's cached machine for the point's
+// configuration; every experiment closure funnels through it.
+func runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, warm int64) chip.Result {
 	p.WarmLines = warm
-	return chip.New(cfg).Run(p)
+	return machineFor(sc, cfg).Run(p)
 }
 
 // bwMetrics exposes the secondary metrics every bandwidth trajectory
@@ -158,11 +171,14 @@ func bwMetrics(r chip.Result) map[string]float64 {
 }
 
 // measured attaches the run's aggregate simulation telemetry (cycles, L2
-// accesses) to the point result; the telemetry never reaches the JSON
-// trajectories, only the benchmark throughput metrics.
+// accesses, fast-forward coverage) to the point result; the telemetry
+// never reaches the JSON trajectories, only the benchmark throughput
+// metrics.
 func measured(res exp.Result, r chip.Result) exp.Result {
 	res.Cycles = r.Cycles
 	res.Accesses = r.L2.Hits + r.L2.Misses
+	res.FFItems = r.FFItems
+	res.FFCycles = r.FFCycles
 	return res
 }
 
@@ -203,14 +219,14 @@ func (o Options) Fig2Exp() exp.Experiment {
 			}
 			return triadT[p.Int("threads")]
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			kind := kernelTriad
 			if p.Str("kernel") == "copy" {
 				kind = kernelCopy
 			}
 			th := p.Int("threads")
 			off := p.Int64("offset")
-			r := runProg(cfg, o.streamProg(kind, off, th), o.warmLines())
+			r := runProg(cfg, sc, o.streamProg(sc, kind, off, th), o.warmLines())
 			return measured(exp.Result{
 				Series:  fmt.Sprintf("%s/%dT", p.Str("kernel"), th),
 				X:       float64(off),
@@ -246,7 +262,17 @@ const (
 	kernelTriad
 )
 
-func (o Options) streamProg(kind streamKind, offsetWords int64, threads int) *trace.Program {
+// streamProgKey caches one recyclable program per (kernel, team) shape in
+// a worker's scratch; only the stream bases change across offsets, so
+// ProgramInto rebuilds the cached program in place.
+type streamProgKey struct {
+	kind    streamKind
+	threads int
+}
+
+type progHolder struct{ p *trace.Program }
+
+func (o Options) streamProg(sc *exp.Scratch, kind streamKind, offsetWords int64, threads int) *trace.Program {
 	sp := alloc.NewSpace()
 	bases := sp.Common(3, o.StreamN+offsetWords, phys.WordSize)
 	var k kernels.Stream
@@ -257,7 +283,9 @@ func (o Options) streamProg(kind streamKind, offsetWords int64, threads int) *tr
 		k = kernels.StreamTriad(bases[0], bases[1], bases[2], o.StreamN)
 	}
 	k.Sweeps = o.StreamSweeps
-	return k.Program(omp.StaticBlock{}, threads)
+	h := sc.Get(streamProgKey{kind, threads}, func() any { return &progHolder{} }).(*progHolder)
+	h.p = k.ProgramInto(h.p, omp.StaticBlock{}, threads)
+	return h.p
 }
 
 // ---- Fig. 4: vector triad vs N under placement policies --------------------
@@ -300,7 +328,7 @@ func (o Options) Fig4Exp() exp.Experiment {
 		Keep: func(p exp.Point) bool {
 			return p.Str("placement") == "seg" || p.Int64("offset") == 0
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			n := p.Int64("n")
 			off := p.Int64("offset")
 			sp := alloc.NewSpace()
@@ -323,7 +351,7 @@ func (o Options) Fig4Exp() exp.Experiment {
 					series = fmt.Sprintf("align8k+%d", off)
 				}
 			}
-			r := runProg(cfg, prog, o.warmLines())
+			r := runProg(cfg, sc, prog, o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -352,7 +380,7 @@ func (o Options) Fig5Exp(threads int) exp.Experiment {
 			exp.Strs("impl", "seg", "plain"),
 			exp.Int64s("n", o.Fig5Ns...),
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			n := p.Int64("n")
 			sp := alloc.NewSpace()
 			var prog *trace.Program
@@ -382,7 +410,7 @@ func (o Options) Fig5Exp(threads int) exp.Experiment {
 				prog = k.Program(omp.StaticBlock{}, threads)
 				series = fmt.Sprintf("%dT non-segmented", threads)
 			}
-			r := runProg(cfg, prog, o.warmLines())
+			r := runProg(cfg, sc, prog, o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -426,7 +454,7 @@ func (o Options) Fig6Exp() exp.Experiment {
 			}
 			return optT[p.Int("threads")]
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			n := p.Int64("n")
 			th := p.Int("threads")
 			sp := alloc.NewSpace()
@@ -459,7 +487,7 @@ func (o Options) Fig6Exp() exp.Experiment {
 				spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
 				series = fmt.Sprintf("%dT", th)
 			}
-			r := runProg(cfg, spec.Program(th), o.warmLines())
+			r := runProg(cfg, sc, spec.Program(th), o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -506,7 +534,7 @@ func (o Options) Fig7Exp() exp.Experiment {
 			exp.Strs("variant", names...),
 			exp.Int64s("n", o.LBMNs...),
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			name := p.Str("variant")
 			var v *fig7Variant
 			for i := range fig7Variants {
@@ -526,7 +554,7 @@ func (o Options) Fig7Exp() exp.Experiment {
 				MaskBase: sp.Malloc(lbm.MaskBytes(n)),
 				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
-			r := runProg(cfg, spec.Program(v.threads), o.warmLines())
+			r := runProg(cfg, sc, spec.Program(v.threads), o.warmLines())
 			return measured(exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}

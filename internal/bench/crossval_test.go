@@ -26,7 +26,7 @@ func crossvalExp(n int64) exp.Experiment {
 		Grid: exp.Grid{
 			exp.Int64s("offset", 0, 32, 16), // convoy, partial, uniform
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			off := p.Int64("offset")
 			ndim := n + off
 			bases := []phys.Addr{0, phys.Addr(ndim * phys.WordSize), phys.Addr(2 * ndim * phys.WordSize)}
@@ -94,7 +94,7 @@ func plannerExp(n int64) exp.Experiment {
 		Grid: exp.Grid{
 			exp.Strs("placement", "naive", "planned"),
 		},
-		Run: func(cfg chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			offset := int64(0)
 			if p.Str("placement") == "planned" {
 				offset = plan.Offsets[1] // arrays shifted by i*128

@@ -75,11 +75,15 @@ func (o Options) ScalingExp() exp.Experiment {
 			exp.Strs("machine", names...),
 			exp.Strs("placement", "congruent", "planned"),
 		},
-		Run: func(_ chip.Config, p exp.Point) (exp.Result, error) {
+		Run: func(base chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
 			prof, err := machine.Get(p.Str("machine"))
 			if err != nil {
 				return exp.Result{}, err
 			}
+			// The point's machine comes from the profile registry, but the
+			// fast-forward validation toggle follows the experiment's
+			// configuration so equivalence tests can flip it sweep-wide.
+			prof.Config.DisableFastForward = base.DisableFastForward
 			ms := prof.Spec()
 			n := scalingN(o.ScalingN, ms, threads)
 			align := int64(phys.PageSize)
@@ -96,7 +100,7 @@ func (o Options) ScalingExp() exp.Experiment {
 
 			k := kernels.LoadSum(bases, n)
 			prog := k.Program(omp.StaticBlock{}, threads)
-			r := runProg(prof.Config, prog, prof.Config.L2.SizeBytes/phys.LineSize)
+			r := runProg(prof.Config, sc, prog, prof.Config.L2.SizeBytes/phys.LineSize)
 			m := bwMetrics(r)
 			m["predicted"] = pred
 			m["controllers"] = float64(ms.Mapping.Controllers())

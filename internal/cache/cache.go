@@ -89,6 +89,18 @@ type Banked struct {
 	used      []uint64 // [set*Ways + way] LRU stamps
 	valid     []uint64 // per-set way bitmask
 	dirty     []uint64 // per-set way bitmask
+	// ptags packs one byte of each way's tag per set (ptagStride words per
+	// set), so a probe can reject a set in two SWAR comparisons instead of
+	// scanning Ways full tags — the common case for streaming kernels,
+	// whose demand accesses virtually always miss. A byte match is only a
+	// candidate: the full tag and valid bit still decide.
+	ptags      []uint64
+	ptagStride int
+	// vers counts installs (miss commits) per set. A probe of a missing
+	// line stays valid exactly as long as its set's install count is
+	// unchanged — the guard that lets the chip's NACK-retry loop skip
+	// re-probing on every tick.
+	vers      []uint32
 	clock     uint64
 	stats     Stats
 	bankStats []Stats
@@ -135,8 +147,11 @@ func New(cfg Config, mapping phys.Mapping) *Banked {
 		used:        make([]uint64, setsTotal*int64(cfg.Ways)),
 		valid:       make([]uint64, setsTotal),
 		dirty:       make([]uint64, setsTotal),
+		ptagStride:  (cfg.Ways + 7) / 8,
 		bankStats:   make([]Stats, cfg.Banks),
 	}
+	c.ptags = make([]uint64, setsTotal*int64(c.ptagStride))
+	c.vers = make([]uint32, setsTotal)
 	c.lineBits = uint(bits.TrailingZeros64(uint64(cfg.LineSize)))
 	c.setBits = uint(bits.Len(uint(perBank - 1)))
 	if fs, fm, ok := c.mapped.BankField(); ok {
@@ -197,17 +212,34 @@ type Probe struct {
 	tag  uint64
 }
 
+// SWAR byte-search constants (one bit per byte lane).
+const (
+	swarLo = 0x0101010101010101
+	swarHi = 0x8080808080808080
+)
+
 // ProbeLine looks up the line containing addr without changing any cache
-// state (no LRU update, no fill, no counters).
+// state (no LRU update, no fill, no counters). The packed partial tags
+// reject most missing lines in ptagStride word comparisons; only byte-lane
+// matches fall through to full tag-and-valid verification.
 func (c *Banked) ProbeLine(addr phys.Addr) Probe {
 	line := phys.LineOf(addr)
 	bank, setIdx, tag := c.locate(line)
 	base := setIdx * c.cfg.Ways
-	tags := c.tags[base : base+c.cfg.Ways]
-	vm := c.valid[setIdx]
-	for i := range tags {
-		if tags[i] == tag && vm&(1<<uint(i)) != 0 {
-			return Probe{Hit: true, Bank: bank, set: int32(setIdx), way: int32(i), tag: tag}
+	needle := (tag & 0xff) * swarLo
+	pbase := setIdx * c.ptagStride
+	for w := 0; w < c.ptagStride; w++ {
+		x := c.ptags[pbase+w] ^ needle
+		m := (x - swarLo) &^ x & swarHi
+		for m != 0 {
+			i := w*8 + bits.TrailingZeros64(m)/8
+			m &= m - 1
+			if i >= c.cfg.Ways {
+				break
+			}
+			if c.tags[base+i] == tag && c.valid[setIdx]&(1<<uint(i)) != 0 {
+				return Probe{Hit: true, Bank: bank, set: int32(setIdx), way: int32(i), tag: tag}
+			}
 		}
 	}
 	return Probe{Bank: bank, set: int32(setIdx), way: -1, tag: tag}
@@ -258,6 +290,10 @@ func (c *Banked) Commit(p Probe, write bool) Result {
 		c.bankStats[p.Bank].Writebacks++
 	}
 	c.tags[base+victim] = p.tag
+	c.vers[setIdx]++
+	pw := setIdx*c.ptagStride + victim/8
+	sh := uint(victim%8) * 8
+	c.ptags[pw] = c.ptags[pw]&^(0xff<<sh) | (p.tag&0xff)<<sh
 	c.valid[setIdx] |= vbit
 	if write {
 		c.dirty[setIdx] |= vbit
@@ -269,6 +305,12 @@ func (c *Banked) Commit(p Probe, write bool) Result {
 	c.bankStats[p.Bank].Misses++
 	return res
 }
+
+// InstallVersion returns the install counter of the probed line's set. A
+// miss probe remains exact — same absent line, same bank/set/tag — for as
+// long as InstallVersion is unchanged, because only an install could make
+// the line appear (evictions of other ways cannot).
+func (c *Banked) InstallVersion(p Probe) uint32 { return c.vers[p.set] }
 
 // Access performs a write-allocate lookup of the line containing addr.
 // On a miss the line is installed (evicting the LRU way) and the caller is
@@ -337,11 +379,76 @@ func (c *Banked) reconstruct(setIdx int, tag uint64) phys.Addr {
 // Stats returns aggregate counters.
 func (c *Banked) Stats() Stats { return c.stats }
 
+// BankStatsInto copies the per-bank counters into dst (which must have one
+// entry per bank) without allocating — the snapshot path of the chip's
+// steady-state fast-forward.
+func (c *Banked) BankStatsInto(dst []Stats) {
+	copy(dst, c.bankStats)
+}
+
+// Image is a snapshot of the tag store (not the counters), used to restore
+// a warmed-up cache without replaying the warm-up access sequence.
+type Image struct {
+	tags, used   []uint64
+	valid, dirty []uint64
+	ptags        []uint64
+	clock        uint64
+}
+
+// Snapshot captures the current tag-store contents.
+func (c *Banked) Snapshot() *Image {
+	img := &Image{}
+	c.SnapshotInto(img)
+	return img
+}
+
+// SnapshotInto captures the tag store into img, reusing its buffers when
+// they fit — the allocation-free path for repeated checkpoints.
+func (c *Banked) SnapshotInto(img *Image) {
+	cp := func(dst *[]uint64, src []uint64) {
+		if cap(*dst) < len(src) {
+			*dst = make([]uint64, len(src))
+		}
+		*dst = (*dst)[:len(src)]
+		copy(*dst, src)
+	}
+	cp(&img.tags, c.tags)
+	cp(&img.used, c.used)
+	cp(&img.valid, c.valid)
+	cp(&img.dirty, c.dirty)
+	cp(&img.ptags, c.ptags)
+	img.clock = c.clock
+}
+
+// Restore overwrites the tag store with a snapshot taken from a cache of
+// identical geometry and clears the counters, exactly reproducing the
+// state Snapshot saw after a ResetStats. It panics on geometry mismatch.
+func (c *Banked) Restore(img *Image) {
+	if len(img.tags) != len(c.tags) || len(img.valid) != len(c.valid) {
+		panic(fmt.Sprintf("cache: restoring %d-line image into %d-line cache", len(img.tags), len(c.tags)))
+	}
+	copy(c.tags, img.tags)
+	copy(c.used, img.used)
+	copy(c.valid, img.valid)
+	copy(c.dirty, img.dirty)
+	copy(c.ptags, img.ptags)
+	c.clock = img.clock
+	c.ResetStats()
+}
+
 // BankStats returns per-bank counters.
 func (c *Banked) BankStats() []Stats {
 	out := make([]Stats, len(c.bankStats))
 	copy(out, c.bankStats)
 	return out
+}
+
+// SetStats overwrites the aggregate and per-bank counters — the
+// counterpart of Stats/BankStatsInto used when a tag-store checkpoint is
+// rolled back and the counters must be re-imposed alongside it.
+func (c *Banked) SetStats(agg Stats, banks []Stats) {
+	c.stats = agg
+	copy(c.bankStats, banks)
 }
 
 // ResetStats clears the counters but keeps cache contents — used after
@@ -359,6 +466,8 @@ func (c *Banked) Reset() {
 	clear(c.used)
 	clear(c.valid)
 	clear(c.dirty)
+	clear(c.ptags)
+	clear(c.vers)
 	c.clock = 0
 	c.stats = Stats{}
 	for i := range c.bankStats {

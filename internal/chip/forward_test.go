@@ -1,0 +1,91 @@
+package chip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernels"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// triadProgAt builds a STREAM triad program with the given offset and team
+// size, pre-warmed like the figure harnesses.
+func triadProgAt(n, off int64, threads int) *trace.Program {
+	sp := alloc.NewSpace()
+	bases := sp.Common(3, n+off, phys.WordSize)
+	k := kernels.StreamTriad(bases[0], bases[1], bases[2], n)
+	p := k.Program(omp.StaticBlock{}, threads)
+	p.WarmLines = (4 << 20) / phys.LineSize
+	return p
+}
+
+// stripFF zeroes the how-it-was-computed telemetry, which is the only part
+// of a Result allowed to differ between full simulation and fast-forward.
+func stripFF(r Result) Result {
+	r.FFItems, r.FFCycles, r.FFPeriod = 0, 0, 0
+	return r
+}
+
+// TestFastForwardEquivalence is the chip-level half of the fast-forward
+// exactness proof: for streaming programs across team sizes and offsets,
+// a fast-forwarded run must produce a Result deeply equal to full
+// event-by-event simulation — cycles, all stall breakdowns, L2 stats and
+// per-controller traffic included. The 16-thread case must actually
+// engage fast-forward, so the equality is not vacuous.
+func TestFastForwardEquivalence(t *testing.T) {
+	activated := false
+	for _, tc := range []struct {
+		threads int
+		off     int64
+	}{{16, 8}, {16, 0}, {64, 8}, {64, 0}, {8, 16}} {
+		cfgOn := t2cfg()
+		cfgOff := t2cfg()
+		cfgOff.DisableFastForward = true
+		const n = 1 << 15
+		on := New(cfgOn).Run(triadProgAt(n, tc.off, tc.threads))
+		off := New(cfgOff).Run(triadProgAt(n, tc.off, tc.threads))
+		if off.FFItems != 0 || off.FFCycles != 0 {
+			t.Fatalf("threads=%d off=%d: disabled run reports fast-forward telemetry %d/%d",
+				tc.threads, tc.off, off.FFItems, off.FFCycles)
+		}
+		if on.FFItems > 0 {
+			activated = true
+		}
+		if !reflect.DeepEqual(stripFF(on), stripFF(off)) {
+			t.Errorf("threads=%d off=%d: fast-forward diverged from full simulation:\n ff:   %+v\n full: %+v",
+				tc.threads, tc.off, on, off)
+		}
+	}
+	if !activated {
+		t.Error("fast-forward never engaged on any tested point; the equivalence is vacuous")
+	}
+}
+
+// TestMachineReuseIsStateless pins the reuse contract behind exp.Scratch:
+// a machine that has already run other programs must produce, for any
+// program, exactly the Result a freshly built machine produces — including
+// across team-size changes, which exercise the strand pool, and with the
+// warm-image restore path in place of the first run's prefill.
+func TestMachineReuseIsStateless(t *testing.T) {
+	const n = 1 << 13
+	mk := func(off int64, threads int) *trace.Program { return triadProgAt(n, off, threads) }
+
+	fresh16 := New(t2cfg()).Run(mk(8, 16))
+	reused := New(t2cfg())
+	reused.Run(mk(0, 64))
+	reused.Run(mk(24, 32))
+	again16 := reused.Run(mk(8, 16))
+	if !reflect.DeepEqual(fresh16, again16) {
+		t.Errorf("reused machine diverged from fresh machine:\n fresh:  %+v\n reused: %+v", fresh16, again16)
+	}
+
+	// Back-to-back identical runs on one machine must agree too.
+	a := reused.Run(mk(8, 16))
+	b := reused.Run(mk(8, 16))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical back-to-back runs differ:\n a: %+v\n b: %+v", a, b)
+	}
+}

@@ -185,16 +185,49 @@ type Result struct {
 	// excluded from JSON so BENCH_*.json trajectories stay byte-stable.
 	// The benchmark harness divides their sweep totals by wallclock to
 	// report hardware-portable throughput (simulated cycles per second,
-	// simulated accesses per second).
+	// simulated accesses per second). FFItems/FFCycles record how much of
+	// the point was covered by the chip's steady-state fast-forward — a
+	// how-it-was-computed stamp that must never change what was computed,
+	// which is why it too stays out of the trajectories.
 	Cycles   int64 `json:"-"`
 	Accesses int64 `json:"-"`
+	FFItems  int64 `json:"-"`
+	FFCycles int64 `json:"-"`
+}
+
+// Scratch is a per-worker reuse arena. Every point a worker evaluates
+// receives the same Scratch, so expensive point-invariant state — a
+// chip.Machine with its tag arrays and event wheel, a recycled
+// trace.Program — is built once per worker instead of once per point.
+// Workers never share a Scratch, so cached values need no locking; and
+// because cached state must never leak one point's results into another,
+// anything stored here must be reset-on-reuse by construction (a
+// chip.Machine) or rebuilt field-by-field per point (kernels.ProgramInto).
+// The jobs=1-vs-N determinism tests hold that bargain in place.
+type Scratch struct {
+	vals map[any]any
+}
+
+// Get returns the value cached under key, building and caching it on first
+// use. Keys follow the context.Context convention: define an unexported
+// key type per cached thing so packages cannot collide.
+func (s *Scratch) Get(key any, build func() any) any {
+	if s.vals == nil {
+		s.vals = map[any]any{}
+	}
+	if v, ok := s.vals[key]; ok {
+		return v
+	}
+	v := build()
+	s.vals[key] = v
+	return v
 }
 
 // Experiment is a declarative sweep: a parameter grid, an optional keep
 // predicate pruning the cross product, and a Run closure evaluating one
 // point on the given machine configuration. Run must be safe to call from
-// multiple goroutines (each call constructs its own chip.Machine and
-// address space) and must be deterministic in the point alone.
+// multiple goroutines (per-run state lives in the worker's Scratch or the
+// call frame) and must be deterministic in the point alone.
 type Experiment struct {
 	Name string
 	Doc  string
@@ -206,7 +239,7 @@ type Experiment struct {
 	Cfg     chip.Config
 	Grid    Grid
 	Keep    func(Point) bool
-	Run     func(chip.Config, Point) (Result, error)
+	Run     func(chip.Config, Point, *Scratch) (Result, error)
 }
 
 // Points expands the experiment's grid through its keep predicate.
@@ -256,6 +289,17 @@ func (o Outcome) Totals() (cycles, accesses int64) {
 		accesses += pr.Result.Accesses
 	}
 	return cycles, accesses
+}
+
+// FastForwardTotals sums the fast-forward telemetry over every point: how
+// many work items and simulated cycles were covered analytically instead
+// of event by event.
+func (o Outcome) FastForwardTotals() (items, cycles int64) {
+	for _, pr := range o.Points {
+		items += pr.Result.FFItems
+		cycles += pr.Result.FFCycles
+	}
+	return items, cycles
 }
 
 // JSON marshals the outcome canonically (indented, map keys sorted by

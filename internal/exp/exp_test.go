@@ -83,7 +83,7 @@ func synthetic(fail func(Point) bool) Experiment {
 			Strs("series", "s0", "s1"),
 			Ints("x", 0, 1, 2, 3, 4, 5, 6, 7),
 		},
-		Run: func(_ chip.Config, p Point) (Result, error) {
+		Run: func(_ chip.Config, p Point, _ *Scratch) (Result, error) {
 			if fail != nil && fail(p) {
 				return Result{}, errors.New("boom")
 			}
@@ -178,11 +178,11 @@ func TestRunnerErrorPropagation(t *testing.T) {
 func TestRunnerPanicCapture(t *testing.T) {
 	e := synthetic(nil)
 	inner := e.Run
-	e.Run = func(cfg chip.Config, p Point) (Result, error) {
+	e.Run = func(cfg chip.Config, p Point, sc *Scratch) (Result, error) {
 		if p.Int("x") == 3 {
 			panic("kernel exploded")
 		}
-		return inner(cfg, p)
+		return inner(cfg, p, sc)
 	}
 	_, err := Runner{Jobs: 4}.Run(e)
 	if err == nil || !strings.Contains(err.Error(), "panic: kernel exploded") {

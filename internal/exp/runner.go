@@ -51,8 +51,9 @@ func (r Runner) Run(e Experiment) (Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := &Scratch{} // per-worker: cached machines/programs are never shared
 			for i := range work {
-				res, err := runPoint(e, pts[i])
+				res, err := runPoint(e, pts[i], sc)
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, pointError{i, err})
@@ -85,13 +86,13 @@ func (r Runner) Run(e Experiment) (Outcome, error) {
 
 // runPoint evaluates one point, converting a panic in the closure into an
 // error so a bad point cannot kill the whole sweep's worker.
-func runPoint(e Experiment, p Point) (res Result, err error) {
+func runPoint(e Experiment, p Point, sc *Scratch) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return e.Run(e.Cfg, p)
+	return e.Run(e.Cfg, p, sc)
 }
 
 // describe renders a point's parameters sorted by name, for error text.

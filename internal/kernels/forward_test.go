@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/trace"
+)
+
+// items drains a generator into a flat item list (deep copies).
+func items(g trace.Generator) []trace.Item {
+	var out []trace.Item
+	var it trace.Item
+	for {
+		it.Reset()
+		if !g.Next(&it) {
+			return out
+		}
+		cp := trace.Item{
+			Acc:      append([]trace.Access(nil), it.Acc...),
+			Demand:   it.Demand,
+			Units:    it.Units,
+			RepBytes: it.RepBytes,
+		}
+		out = append(out, cp)
+	}
+}
+
+// skipEquivalence runs the Forwardable contract check on one generator
+// pair: drive the reference by Next alone; drive the subject by j Next
+// calls, one Skip of up to UniformRemaining items, then Next to the end.
+// The subject's tail must be byte-for-byte the reference's items j+m
+// onward — Skip(m) must leave exactly the state m Next calls would.
+func skipEquivalence(t *testing.T, ref, sub trace.Generator, j, skipFrac int) bool {
+	t.Helper()
+	want := items(ref)
+	var it trace.Item
+	for i := 0; i < j; i++ {
+		it.Reset()
+		if !sub.Next(&it) {
+			return true // script shorter than j: nothing to check
+		}
+	}
+	fw := sub.(trace.Forwardable)
+	u := fw.UniformRemaining()
+	if u < 0 {
+		t.Fatalf("UniformRemaining negative: %d", u)
+	}
+	m := int64(0)
+	if u > 0 {
+		m = u*int64(skipFrac%100+1)/100 + 1
+		if m > u {
+			m = u
+		}
+	}
+	fw.Skip(m)
+	got := items(sub)
+	tail := want[int64(j)+m:]
+	if len(got) != len(tail) {
+		t.Errorf("j=%d m=%d: %d items after skip, want %d", j, m, len(got), len(tail))
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], tail[i]) {
+			t.Errorf("j=%d m=%d: item %d after skip differs:\n got  %+v\n want %+v", j, m, i, got[i], tail[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamGenSkipEquivalence fuzzes Skip/UniformRemaining on the plain
+// stream generator across offsets, team sizes, positions and skip widths.
+func TestStreamGenSkipEquivalence(t *testing.T) {
+	f := func(offB, thB, jB, fracB uint8) bool {
+		off := int64(offB % 64)
+		threads := int(thB%7) + 1
+		const n = 4096
+		mk := func() trace.Generator {
+			sp := alloc.NewSpace()
+			bases := sp.Common(3, n+off, phys.WordSize)
+			k := StreamTriad(bases[0], bases[1], bases[2], n)
+			k.Sweeps = 1 + int(thB%2)
+			return k.Program(omp.StaticBlock{}, threads).Gens[int(jB)%threads]
+		}
+		return skipEquivalence(t, mk(), mk(), int(jB%80), int(fracB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegStreamGenSkipEquivalence fuzzes Skip/UniformRemaining on the
+// segmented stream generator, including multi-sweep instances and
+// per-array offsets.
+func TestSegStreamGenSkipEquivalence(t *testing.T) {
+	f := func(offB, thB, jB, fracB uint8) bool {
+		threads := int(thB%5) + 1
+		const n = 2048
+		mk := func() trace.Generator {
+			sp := alloc.NewSpace()
+			segLens := segarray.EqualSegments(n, threads)
+			var ls [4]*segarray.Layout
+			for i := range ls {
+				l := segarray.Plan(sp, segarray.Params{
+					ElemSize: phys.WordSize,
+					Align:    phys.PageSize,
+					SegAlign: phys.PageSize,
+					Offset:   int64(i) * int64(offB%128),
+				}, segLens)
+				ls[i] = &l
+			}
+			k := SegVTriad(ls[0], ls[1], ls[2], ls[3])
+			k.SegOverhead = int64(offB % 2 * 30)
+			k.Sweeps = 1 + int(thB%2)
+			return k.Program(threads).Gens[int(jB)%threads]
+		}
+		return skipEquivalence(t, mk(), mk(), int(jB%80), int(fracB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgramIntoRecyclesBuffers pins the scratch-pool contract: rebuilding
+// a program into a previous one must reuse the generator records and
+// produce exactly the item stream of a freshly built program.
+func TestProgramIntoRecyclesBuffers(t *testing.T) {
+	build := func(prev *trace.Program, off int64) *trace.Program {
+		sp := alloc.NewSpace()
+		const n = 1 << 12
+		bases := sp.Common(3, n+off, phys.WordSize)
+		k := StreamTriad(bases[0], bases[1], bases[2], n)
+		return k.ProgramInto(prev, omp.StaticBlock{}, 8)
+	}
+	scratch := build(nil, 0)
+	// Consume part of the program, then rebuild with a different offset.
+	var it trace.Item
+	for i := 0; i < 100; i++ {
+		it.Reset()
+		scratch.Gens[3].Next(&it)
+	}
+	recycled := build(scratch, 24)
+	if recycled != scratch {
+		t.Fatal("ProgramInto did not recycle the shape-compatible program")
+	}
+	fresh := build(nil, 24)
+	for g := range fresh.Gens {
+		got := items(recycled.Gens[g])
+		want := items(fresh.Gens[g])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("recycled generator %d produced a different item stream", g)
+		}
+	}
+	if fresh.Label != recycled.Label {
+		t.Errorf("labels differ: %q vs %q", recycled.Label, fresh.Label)
+	}
+}

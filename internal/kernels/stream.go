@@ -101,6 +101,18 @@ func (k *Stream) Streams() int {
 // Program compiles the kernel into a per-thread work-item program under the
 // given schedule and team size.
 func (k *Stream) Program(sched omp.Schedule, threads int) *trace.Program {
+	return k.ProgramInto(nil, sched, threads)
+}
+
+// ProgramInto compiles the kernel like Program, but recycles the program,
+// generator and tracker buffers of prev — a program previously built by
+// this method (or Program) for the same thread count and stream shape.
+// Sweep harnesses hand the same scratch program to every point of an
+// offset sweep, turning per-point program construction into a handful of
+// field writes. A nil or shape-incompatible prev falls back to fresh
+// allocation. The kernel value is copied, so the caller may mutate k
+// afterwards without disturbing the compiled program.
+func (k *Stream) ProgramInto(prev *trace.Program, sched omp.Schedule, threads int) *trace.Program {
 	if threads <= 0 {
 		panic(fmt.Sprintf("kernels: %d threads", threads))
 	}
@@ -108,16 +120,43 @@ func (k *Stream) Program(sched omp.Schedule, threads int) *trace.Program {
 	if sweeps < 1 {
 		sweeps = 1
 	}
+	p := prev
+	reuse := p != nil && len(p.Gens) == threads
+	if reuse {
+		for _, g := range p.Gens {
+			sg, ok := g.(*streamGen)
+			if !ok || len(sg.readTr) != len(k.ReadBases) || len(sg.asns) != sweeps {
+				reuse = false
+				break
+			}
+		}
+	}
+	if !reuse {
+		shared := make([]omp.Assigner, sweeps)
+		p = &trace.Program{Gens: make([]trace.Generator, 0, threads)}
+		for t := 0; t < threads; t++ {
+			p.Gens = append(p.Gens, &streamGen{
+				asns:   shared,
+				readTr: make([]trace.LineTracker, len(k.ReadBases)),
+			})
+		}
+	}
+	kc := *k
 	// One shared assigner per sweep so that self-scheduling policies keep
 	// their work-queue semantics across the team.
-	asns := make([]omp.Assigner, sweeps)
+	asns := p.Gens[0].(*streamGen).asns
 	for s := range asns {
-		asns[s] = sched.Assigner(k.N, threads)
+		asns[s] = sched.Assigner(kc.N, threads)
 	}
-	p := &trace.Program{Label: fmt.Sprintf("%s/N=%d/%s/t=%d", k.Name, k.N, sched.String(), threads)}
+	p.Label = fmt.Sprintf("%s/N=%d/%s/t=%d", kc.Name, kc.N, sched.String(), threads)
+	p.WarmLines = 0
 	for t := 0; t < threads; t++ {
-		p.Gens = append(p.Gens, &streamGen{k: k, asns: asns, thread: t,
-			readTr: make([]trace.LineTracker, len(k.ReadBases))})
+		g := p.Gens[t].(*streamGen)
+		tr := g.readTr
+		for i := range tr {
+			tr[i].Reset()
+		}
+		*g = streamGen{k: &kc, asns: asns, thread: t, readTr: tr}
 	}
 	return p
 }
@@ -189,4 +228,69 @@ func (g *streamGen) Next(it *trace.Item) bool {
 		g.has = false
 	}
 	return true
+}
+
+// UniformRemaining reports the full items left in the current chunk. Every
+// mid-chunk item covers exactly one line-width of each stream (one new
+// line per stream after tracker dedup), so the uniform region runs to the
+// chunk end; the next chunk resets trackers and possibly charges
+// SegOverhead, which is the irregularity the bound excludes.
+func (g *streamGen) UniformRemaining() int64 {
+	if !g.has {
+		return 0
+	}
+	block := int64(phys.LineSize) / g.k.ElemSize
+	return (g.cur.Hi - g.i) / block
+}
+
+// Skip implements trace.Forwardable: it advances the chunk position and
+// rebuilds each stream's tracker to the line of the last skipped element —
+// exactly the state n Next calls leave behind (pinned by the skip
+// equivalence test).
+func (g *streamGen) Skip(n int64) {
+	if n <= 0 {
+		return
+	}
+	block := int64(phys.LineSize) / g.k.ElemSize
+	e := g.i + n*block
+	last := phys.Addr((e - 1) * g.k.ElemSize)
+	for r := range g.readTr {
+		g.readTr[r].Set(g.k.ReadBases[r] + last)
+	}
+	if g.k.HasWrite {
+		g.writeTr.Set(g.k.WriteBase + last)
+	}
+	g.i = e
+	if g.i >= g.cur.Hi {
+		g.has = false
+	}
+}
+
+// ItemStride implements trace.Forwardable: every stream advances one line
+// per item.
+func (g *streamGen) ItemStride() int64 { return phys.LineSize }
+
+// PatternPhase folds the spatial phase of every stream's next access and
+// tracker, plus the has-work flag and a capped items-to-boundary count so
+// states about to hit a chunk edge never alias with mid-chunk states.
+func (g *streamGen) PatternPhase(f *trace.Fingerprint, window int64) {
+	if !g.has {
+		f.Fold(0)
+		return
+	}
+	f.Fold(1)
+	next := phys.Addr(g.i * g.k.ElemSize)
+	for r := range g.readTr {
+		f.FoldAddr(g.k.ReadBases[r]+next, window)
+		g.readTr[r].Phase(f, window)
+	}
+	if g.k.HasWrite {
+		f.FoldAddr(g.k.WriteBase+next, window)
+		g.writeTr.Phase(f, window)
+	}
+	ur := g.UniformRemaining()
+	if ur > 2 {
+		ur = 2
+	}
+	f.Fold(uint64(ur))
 }

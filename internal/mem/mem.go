@@ -64,9 +64,10 @@ type controller struct {
 // per-request controller selection in Full/Read/Write is an inlined bit
 // extraction for the common field mappings.
 type System struct {
-	cfg    Config
-	mapped phys.Resolved
-	ctls   []controller
+	cfg        Config
+	mapped     phys.Resolved
+	ctls       []controller
+	fullThresh int64 // QueueDepth * ReadService, 0 when unlimited
 }
 
 // New builds a controller system with one controller per mapping target.
@@ -74,7 +75,11 @@ func New(cfg Config, mapping phys.Mapping) *System {
 	if cfg.ReadService <= 0 || cfg.WriteService <= 0 || cfg.Latency < 0 || cfg.WriteCouple < 0 {
 		panic(fmt.Sprintf("mem: invalid config %+v", cfg))
 	}
-	return &System{cfg: cfg, mapped: phys.Resolve(mapping), ctls: make([]controller, mapping.Controllers())}
+	s := &System{cfg: cfg, mapped: phys.Resolve(mapping), ctls: make([]controller, mapping.Controllers())}
+	if cfg.QueueDepth > 0 {
+		s.fullThresh = cfg.QueueDepth * cfg.ReadService
+	}
+	return s
 }
 
 // Config returns the timing parameters.
@@ -83,12 +88,20 @@ func (s *System) Config() Config { return s.cfg }
 // Full reports whether the northbound queue of the controller serving addr
 // has no room for another request at time now. Callers must retry later.
 func (s *System) Full(now sim.Time, addr phys.Addr) bool {
-	if s.cfg.QueueDepth <= 0 {
+	return s.FullCtl(now, s.mapped.Controller(addr))
+}
+
+// Controller returns the controller index serving addr through the
+// devirtualized mapping — the handle a NACK-retry loop caches so its ticks
+// skip the address decode.
+func (s *System) Controller(addr phys.Addr) int { return s.mapped.Controller(addr) }
+
+// FullCtl is Full for a pre-resolved controller index.
+func (s *System) FullCtl(now sim.Time, ctl int) bool {
+	if s.fullThresh == 0 {
 		return false
 	}
-	c := &s.ctls[s.mapped.Controller(addr)]
-	backlog := c.north.FreeAt() - now
-	return backlog >= s.cfg.QueueDepth*s.cfg.ReadService
+	return s.ctls[ctl].north.FreeAt()-now >= s.fullThresh
 }
 
 // Read issues a demand or RFO line read arriving at the controller at time
@@ -119,10 +132,37 @@ func (s *System) Write(now sim.Time, addr phys.Addr) sim.Time {
 // Stats returns a copy of the per-controller counters.
 func (s *System) Stats() []CtlStats {
 	out := make([]CtlStats, len(s.ctls))
-	for i := range s.ctls {
-		out[i] = s.ctls[i].stats
-	}
+	s.StatsInto(out)
 	return out
+}
+
+// StatsInto copies the per-controller counters into dst (one entry per
+// controller) without allocating.
+func (s *System) StatsInto(dst []CtlStats) {
+	for i := range s.ctls {
+		dst[i] = s.ctls[i].stats
+	}
+}
+
+// AddStats credits k periods' worth of per-controller counter deltas — the
+// accounting half of a fast-forwarded steady-state interval. Channel
+// cursor occupancy is forwarded separately through ForEachCursor.
+func (s *System) AddStats(k int64, d []CtlStats) {
+	for i := range d {
+		s.ctls[i].stats.Reads += k * d[i].Reads
+		s.ctls[i].stats.Writes += k * d[i].Writes
+		s.ctls[i].stats.BusyCycles += k * d[i].BusyCycles
+	}
+}
+
+// ForEachCursor visits every channel cursor in a fixed order (northbound
+// then southbound, per controller) — the enumeration the chip's
+// fast-forward uses to snapshot, fingerprint and shift channel state.
+func (s *System) ForEachCursor(f func(c *sim.Cursor)) {
+	for i := range s.ctls {
+		f(&s.ctls[i].north)
+		f(&s.ctls[i].south)
+	}
 }
 
 // BusyCycles returns the summed channel occupancy across controllers.

@@ -1,0 +1,54 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing of the
+// CLIs: start CPU profiling immediately, write the heap profile at stop,
+// and make stopping idempotent so error paths that os.Exit can flush the
+// profiles first without double-finalizing on the happy path's defer.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges a
+// heap profile at memPath (if non-empty). The returned stop function is
+// idempotent; call it both deferred and before any explicit os.Exit so a
+// failing run still leaves parseable profiles behind.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}

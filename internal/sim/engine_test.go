@@ -278,3 +278,213 @@ func TestCursorUtilization(t *testing.T) {
 		t.Errorf("zero-horizon utilization %f", u)
 	}
 }
+
+// ---- timing wheel vs reference heap ----------------------------------------
+
+// driveBoth runs the same schedule script through a wheel engine and a
+// reference-heap engine and asserts identical execution traces and
+// identical Steps/Pending accounting after every event. The script is a
+// byte stream: each executed event schedules a follow-up with a delay
+// drawn from the stream (including zero — a same-cycle event), so ties,
+// bucket reuse and scheduling-during-drain are all exercised.
+func driveBoth(t *testing.T, seeds []byte, delays []byte) {
+	t.Helper()
+	type rec struct {
+		now  Time
+		arg  int32
+		kind Kind
+	}
+	run := func(heap bool) ([]rec, []uint64, []int) {
+		var e Engine
+		if heap {
+			e.UseReferenceHeap()
+		}
+		var trace []rec
+		var steps []uint64
+		var pend []int
+		di := 0
+		e.SetHandler(func(k Kind, arg int32) {
+			trace = append(trace, rec{e.Now(), arg, k})
+			if di < len(delays) {
+				d := Time(delays[di]) * Time(delays[di]) // up to ~65k: forces growth
+				k2 := Kind(delays[di] % 3)
+				di++
+				e.Schedule(e.Now()+d, k2, arg+1)
+				if d%5 == 0 {
+					e.Schedule(e.Now(), k2, -arg) // same-cycle tie
+				}
+			}
+		})
+		for i, s := range seeds {
+			e.Schedule(Time(s%64), Kind(s%3), int32(i))
+		}
+		for e.Step() {
+			steps = append(steps, e.Steps())
+			pend = append(pend, e.Pending())
+		}
+		return trace, steps, pend
+	}
+	wt, ws, wp := run(false)
+	ht, hs, hp := run(true)
+	if len(wt) != len(ht) {
+		t.Fatalf("wheel executed %d events, heap %d", len(wt), len(ht))
+	}
+	for i := range wt {
+		if wt[i] != ht[i] {
+			t.Fatalf("event %d diverged: wheel %+v, heap %+v", i, wt[i], ht[i])
+		}
+		if ws[i] != hs[i] || wp[i] != hp[i] {
+			t.Fatalf("accounting diverged at event %d: wheel steps/pending %d/%d, heap %d/%d",
+				i, ws[i], wp[i], hs[i], hp[i])
+		}
+	}
+}
+
+// TestWheelHeapDifferential is the equivalence proof for replacing the
+// 4-ary heap with the timing wheel: random bounded-delay schedules —
+// including zero delays, same-cycle ties and delays that force the wheel
+// to grow — must pop in the identical (when, seq) order from both queues,
+// with identical Steps and Pending counters throughout.
+func TestWheelHeapDifferential(t *testing.T) {
+	f := func(seeds []byte, delays []byte) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 64 {
+			seeds = seeds[:64]
+		}
+		if len(delays) > 512 {
+			delays = delays[:512]
+		}
+		driveBoth(t, seeds, delays)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWheelGrowthPreservesOrder pins the rehash path: events scheduled far
+// beyond the initial span force repeated growth while earlier events are
+// pending, and the pop order must remain the (when, seq) sort.
+func TestWheelGrowthPreservesOrder(t *testing.T) {
+	var e Engine
+	var got []Time
+	e.SetHandler(func(_ Kind, arg int32) { got = append(got, e.Now()) })
+	whens := []Time{100, 3, 70000, 511, 70000, 5, 1 << 20, 0}
+	for _, w := range whens {
+		e.Schedule(w, 0, 0)
+	}
+	e.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("pop order regressed across growth: %v", got)
+		}
+	}
+	if len(got) != len(whens) {
+		t.Fatalf("executed %d of %d events", len(got), len(whens))
+	}
+}
+
+// TestForEachPendingOrder checks the fingerprint iteration hook: both
+// queue structures must visit pending events in execution order with
+// now-relative delays.
+func TestForEachPendingOrder(t *testing.T) {
+	for _, heap := range []bool{false, true} {
+		var e Engine
+		if heap {
+			e.UseReferenceHeap()
+		}
+		e.SetHandler(func(Kind, int32) {})
+		e.Schedule(40, 1, 4)
+		e.Schedule(10, 2, 1)
+		e.Schedule(10, 3, 2) // tie: later seq
+		e.Schedule(700, 4, 7)
+		e.Schedule(5, 5, 0)
+		e.Step() // run the t=5 event; now=5
+		var dts []Time
+		var args []int32
+		e.ForEachPending(func(dt Time, _ Kind, arg int32, closure bool) {
+			if closure {
+				t.Fatal("typed event reported as closure")
+			}
+			dts = append(dts, dt)
+			args = append(args, arg)
+		})
+		wantDt := []Time{5, 5, 35, 695}
+		wantArg := []int32{1, 2, 4, 7}
+		for i := range wantDt {
+			if i >= len(dts) || dts[i] != wantDt[i] || args[i] != wantArg[i] {
+				t.Fatalf("heap=%v: pending iteration (%v, %v), want (%v, %v)", heap, dts, args, wantDt, wantArg)
+			}
+		}
+	}
+}
+
+// TestFastForwardShiftsPending checks the fast-forward hook on both queue
+// structures: the clock advances, every pending delay is preserved, the
+// credited steps land in Steps, and subsequent execution continues in
+// order at the shifted times.
+func TestFastForwardShiftsPending(t *testing.T) {
+	for _, heap := range []bool{false, true} {
+		var e Engine
+		if heap {
+			e.UseReferenceHeap()
+		}
+		var got []Time
+		e.SetHandler(func(_ Kind, arg int32) { got = append(got, e.Now()) })
+		e.Schedule(10, 0, 1)
+		e.Schedule(500, 0, 2)
+		e.Schedule(10, 0, 3)
+		e.Step() // now=10, two events left
+		e.FastForward(1_000_000, 42)
+		if e.Now() != 1_000_010 {
+			t.Fatalf("heap=%v: now %d after fast-forward", heap, e.Now())
+		}
+		if e.Steps() != 1+42 {
+			t.Fatalf("heap=%v: steps %d, want 43", heap, e.Steps())
+		}
+		if e.Pending() != 2 {
+			t.Fatalf("heap=%v: pending %d, want 2", heap, e.Pending())
+		}
+		e.Run()
+		want := []Time{10, 1_000_010, 1_000_500}
+		if len(got) != 3 || got[1] != want[1] || got[2] != want[2] {
+			t.Fatalf("heap=%v: execution times %v, want %v", heap, got, want)
+		}
+	}
+}
+
+// TestEngineResetReuse pins the machine-reuse contract: a reset engine
+// must replay an identical schedule with identical times, sequence
+// numbering and accounting, without keeping stale events.
+func TestEngineResetReuse(t *testing.T) {
+	var e Engine
+	run := func() []Time {
+		var got []Time
+		e.SetHandler(func(Kind, int32) { got = append(got, e.Now()) })
+		e.Schedule(3, 0, 0)
+		e.Schedule(900, 0, 0)
+		e.Schedule(3, 0, 0)
+		e.Run()
+		return got
+	}
+	a := run()
+	stepsA := e.Steps()
+	e.Reset()
+	if e.Now() != 0 || e.Steps() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset left now=%d steps=%d pending=%d", e.Now(), e.Steps(), e.Pending())
+	}
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("replay executed %d events, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay time %d differs: %d vs %d", i, b[i], a[i])
+		}
+	}
+	if e.Steps() != stepsA {
+		t.Fatalf("replay steps %d, want %d", e.Steps(), stepsA)
+	}
+}
