@@ -47,8 +47,10 @@ bench:
 
 # bench-diff measures a fresh perf trajectory and compares it against the
 # committed BENCH_perf.json: more than a 20% drop in accesses/s or any
-# growth in allocs/op fails. CI runs it as a non-blocking step, so perf
-# drift is visible per change without flaking the build on noisy runners.
+# growth in allocs/op fails, with a per-benchmark delta table on failure.
+# CI runs it as a blocking step — the committed baseline plus benchdiff's
+# added/removed tolerance make it safe to gate on; the 20% budget absorbs
+# shared-runner noise.
 bench-diff:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_perf.fresh.json

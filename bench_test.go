@@ -30,6 +30,10 @@ type simTotals struct {
 	cycles   int64
 	accesses int64
 	ffCycles int64
+	shards   int64
+	width    int64
+	epochs   int64
+	stalls   int64
 }
 
 // run executes the experiment, folds its telemetry into the totals, and
@@ -41,6 +45,15 @@ func (st *simTotals) run(e exp.Experiment) []stats.Series {
 	st.cycles += c
 	st.accesses += a
 	st.ffCycles += fc
+	sh, w, ep, bs := out.ShardTotals()
+	if sh > st.shards {
+		st.shards = sh
+	}
+	if w > st.width {
+		st.width = w
+	}
+	st.epochs += ep
+	st.stalls += bs
 	return out.Series()
 }
 
@@ -53,6 +66,15 @@ func (st *simTotals) report(b *testing.B) {
 	b.ReportMetric(float64(st.accesses)/secs, "accesses/s")
 	if st.cycles > 0 {
 		b.ReportMetric(float64(st.ffCycles)/float64(st.cycles)*100, "ff-coverage-%")
+	}
+	if st.shards > 0 {
+		// Sharded-engine scaling telemetry: the decomposition (domains),
+		// the epoch width the engine actually derived (reported by the
+		// runs, not re-derived here), and how often shards hit a barrier
+		// with no work — the load-imbalance measure — per wallclock second.
+		b.ReportMetric(float64(st.shards), "shards")
+		b.ReportMetric(float64(st.width), "epoch-width")
+		b.ReportMetric(float64(st.stalls)/secs, "barrier-stalls/s")
 	}
 }
 
@@ -118,6 +140,37 @@ func BenchmarkFig6Jacobi(b *testing.B) {
 				b.ReportMetric(mean(s.Y), "plain-MLUPs")
 			}
 		}
+	}
+	st.report(b)
+}
+
+// BenchmarkFig4ShardedEngine regenerates the Fig. 4 sweep on the
+// controller-domain sharded engine (parallel.go), tracking the sharded
+// trajectory — shards, epoch-width and barrier-stalls/s — next to the
+// sequential BenchmarkFig4VectorTriadAlignment so the engine's scaling is
+// recorded in BENCH_perf.json. The per-run worker budget shares cores
+// with the sweep pool (exp.ShardBudget), and the measured results are
+// invariant under it.
+func BenchmarkFig4ShardedEngine(b *testing.B) {
+	o := bench.Small()
+	o.Shards = exp.ShardBudget(-1, 0)
+	var st simTotals
+	for i := 0; i < b.N; i++ {
+		st.run(o.Fig4Exp())
+	}
+	st.report(b)
+}
+
+// BenchmarkFig6ShardedEngine regenerates the Fig. 6 Jacobi sweep on the
+// sharded engine — the engine's target workload: a stencil whose reuse
+// keeps it out of steady-state fast-forward, so intra-run parallelism is
+// the only lever left.
+func BenchmarkFig6ShardedEngine(b *testing.B) {
+	o := bench.Small()
+	o.Shards = exp.ShardBudget(-1, 0)
+	var st simTotals
+	for i := 0; i < b.N; i++ {
+		st.run(o.Fig6Exp())
 	}
 	st.report(b)
 }

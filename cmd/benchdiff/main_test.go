@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bm(metrics ...map[string]float64) doc {
+	d := doc{Benchmarks: map[string]map[string]float64{}}
+	for i, m := range metrics {
+		d.Benchmarks[[]string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}[i]] = m
+	}
+	return d
+}
+
+func TestCompareOK(t *testing.T) {
+	base := bm(map[string]float64{"accesses/s": 100, "allocs/op": 10})
+	fresh := bm(map[string]float64{"accesses/s": 95, "allocs/op": 10})
+	var sb strings.Builder
+	if compare(base, fresh, 0.20, 0.02, &sb) {
+		t.Fatalf("5%% drop within a 20%% budget failed:\n%s", sb.String())
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	base := bm(map[string]float64{"accesses/s": 100})
+	fresh := bm(map[string]float64{"accesses/s": 70})
+	var sb strings.Builder
+	if !compare(base, fresh, 0.20, 0.02, &sb) {
+		t.Fatal("30% drop passed a 20% budget")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "delta table") {
+		t.Errorf("failure output missing regression marker or delta table:\n%s", out)
+	}
+}
+
+func TestCompareAllocGrowthRegression(t *testing.T) {
+	base := bm(map[string]float64{"allocs/op": 10000})
+	fresh := bm(map[string]float64{"allocs/op": 11000})
+	var sb strings.Builder
+	if !compare(base, fresh, 0.20, 0.02, &sb) {
+		t.Fatal("10% alloc growth passed the 2% slack")
+	}
+}
+
+// TestCompareToleratesOneSidedBenchmarks is the regression for the
+// added/removed handling: benchmarks (and metrics) present in only one
+// trajectory are reported, never gated.
+func TestCompareToleratesOneSidedBenchmarks(t *testing.T) {
+	base := doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkShared":  {"accesses/s": 100, "old-metric": 1},
+		"BenchmarkRetired": {"accesses/s": 50},
+	}}
+	fresh := doc{Benchmarks: map[string]map[string]float64{
+		"BenchmarkShared": {"accesses/s": 100, "new-metric": 2},
+		"BenchmarkNew":    {"accesses/s": 10, "allocs/op": 5},
+	}}
+	var sb strings.Builder
+	if compare(base, fresh, 0.20, 0.02, &sb) {
+		t.Fatalf("one-sided benchmarks/metrics failed the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"added benchmarks", "+ BenchmarkNew",
+		"removed benchmarks", "- BenchmarkRetired",
+		`"old-metric" only in baseline`,
+		`"new-metric" only in fresh run`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareAllocNoiseTolerated pins the alloc-slack behaviour: sub-2%
+// wobble passes, multiplicative growth fails.
+func TestCompareAllocNoiseTolerated(t *testing.T) {
+	base := bm(map[string]float64{"allocs/op": 10000})
+	fresh := bm(map[string]float64{"allocs/op": 10120}) // +1.2%: warmup noise
+	var sb strings.Builder
+	if compare(base, fresh, 0.20, 0.02, &sb) {
+		t.Fatalf("1.2%% alloc wobble failed the 2%% slack:\n%s", sb.String())
+	}
+	blown := bm(map[string]float64{"allocs/op": 20000})
+	sb.Reset()
+	if !compare(base, blown, 0.20, 0.02, &sb) {
+		t.Fatal("2x alloc growth passed the gate")
+	}
+}

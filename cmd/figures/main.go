@@ -12,9 +12,15 @@
 // Usage:
 //
 //	figures [-fig all|2|4|5|6|7|scaling|comma-list] [-scale full|small]
-//	        [-machine NAME] [-jobs N] [-json=false] [-out DIR]
+//	        [-machine NAME] [-jobs N] [-shards N] [-json=false] [-out DIR]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	figures -list
+//
+// -shards runs every point on the chip's controller-domain sharded engine
+// (N intra-run workers at most, -1 for auto); the worker count shares the
+// core budget with -jobs and never changes a result byte, but the sharded
+// engine's epoch semantics differ slightly from the sequential default, so
+// committed BENCH trajectories are always regenerated with -shards 0.
 //
 // -machine reruns the sweeps on another profile from the internal/machine
 // registry; the profile name is stamped into the JSON trajectories. The
@@ -48,6 +54,7 @@ func main() {
 	machineName := flag.String("machine", machine.DefaultName,
 		"machine profile to simulate: "+strings.Join(machine.Names(), ", "))
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for the sweep pool (<=0: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "run each point on the controller-domain sharded engine with up to N workers (0: sequential engine, -1: auto — share GOMAXPROCS with -jobs); results are invariant under N")
 	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
 	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
 	list := flag.Bool("list", false, "print the figure and machine-profile registries and exit")
@@ -84,6 +91,9 @@ func main() {
 		fail(2)
 	}
 	o = o.WithProfile(prof)
+	// Run-level and sweep-level parallelism share the core budget: with J
+	// sweep jobs each sharded run gets GOMAXPROCS/J workers at most.
+	o.Shards = exp.ShardBudget(*shards, *jobs)
 
 	if *list {
 		printRegistries(o)
@@ -132,8 +142,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
 			fail(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Printf("== %s [machine %s] — %d points, %d jobs, %s ==\n",
-			f.Title, prof.Name, len(outcome.Points), *jobs, time.Since(start).Round(time.Millisecond))
+			f.Title, prof.Name, len(outcome.Points), *jobs, elapsed.Round(time.Millisecond))
+		if sh, _, ep, st := outcome.ShardTotals(); sh > 0 {
+			workers := int64(o.Shards)
+			if sh < workers {
+				workers = sh // the engine caps workers at the domain count
+			}
+			fmt.Printf("   sharded engine: %d domains, %d run workers, %d epochs, %.0f barrier-stalls/s\n",
+				sh, workers, ep, float64(st)/elapsed.Seconds())
+		}
 		series := outcome.Series()
 
 		csvPath := filepath.Join(*out, f.Name+".csv")

@@ -78,6 +78,7 @@ func main() {
 	runAhead := flag.Int64("runahead", 2, "strand run-ahead window in items; 0 = unbounded")
 	sweep := flag.String("sweep", "", "sweep one parameter: {offset|arrayoffset|n|threads}=lo:hi:step (hi inclusive)")
 	jobs := flag.Int("jobs", 0, "worker goroutines for -sweep (<=0: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "run on the controller-domain sharded engine with up to N workers (0: sequential engine, -1: auto); results are invariant under N")
 	jsonOut := flag.String("json", "", "with -sweep: write the JSON trajectory to this file ('-' for stdout)")
 	flag.Parse()
 
@@ -90,10 +91,10 @@ func main() {
 	cfg.RunAhead = *runAhead
 
 	if *sweep == "" {
-		runSingle(prof, cfg, p)
+		runSingle(prof, cfg, p, exp.ShardBudget(*shards, 1))
 		return
 	}
-	runSweep(prof, cfg, p, *sweep, *jobs, *jsonOut)
+	runSweep(prof, cfg, p, *sweep, *jobs, exp.ShardBudget(*shards, *jobs), *jsonOut)
 }
 
 // schedule resolves the schedule name; jacobi -opt forces static1 as the
@@ -193,15 +194,26 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 }
 
 // runSingle simulates one point and prints the detailed report.
-func runSingle(prof machine.Profile, cfg chip.Config, p params) {
+func runSingle(prof machine.Profile, cfg chip.Config, p params, shardWorkers int) {
 	prog, err := p.build(cfg)
 	if err != nil {
 		fail("%v", err)
 	}
 	m := chip.New(cfg)
-	r := m.Run(prog)
+	var r chip.Result
+	if shardWorkers != 0 {
+		r = m.RunSharded(prog, shardWorkers)
+	} else {
+		r = m.Run(prog)
+	}
 
 	fmt.Printf("machine:   %s (%s)\n", prof.Name, prof.Doc)
+	if r.Shards > 0 {
+		fmt.Printf("engine:    sharded — %d controller domains, epoch width %d cycles, %d epochs, %d barrier stalls\n",
+			r.Shards, r.EpochWidth, r.Epochs, r.BarrierStalls)
+	} else if shardWorkers != 0 {
+		fmt.Printf("engine:    sequential (sharded engine requested but the run is not decomposable)\n")
+	}
 	fmt.Printf("program:   %s\n", r.Label)
 	fmt.Printf("cycles:    %d (%.3f ms at %.1f GHz)\n", r.Cycles, r.Seconds*1e3, cfg.ClockHz/1e9)
 	fmt.Printf("reported:  %8.2f GB/s\n", r.GBps)
@@ -247,7 +259,7 @@ func parseSweep(spec string) (axis string, lo, hi, step int64, err error) {
 
 // runSweep fans the one-axis sweep out over the worker pool and prints a
 // table plus the optional JSON trajectory.
-func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, jobs int, jsonOut string) {
+func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, jobs, shardWorkers int, jsonOut string) {
 	axis, lo, hi, step, err := parseSweep(spec)
 	if err != nil {
 		fail("%v", err)
@@ -281,7 +293,12 @@ func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, j
 			if err != nil {
 				return exp.Result{}, err
 			}
-			r := chip.New(cfg).Run(prog)
+			var r chip.Result
+			if shardWorkers != 0 {
+				r = chip.New(cfg).RunSharded(prog, shardWorkers)
+			} else {
+				r = chip.New(cfg).Run(prog)
+			}
 			return exp.Result{
 				Series: fmt.Sprintf("%s/%dT", p.kernel, p.threads),
 				X:      float64(v),

@@ -39,6 +39,16 @@ type Options struct {
 	// means the default t2 machine (and keeps historical BENCH_*.json
 	// byte-identical); WithProfile sets it for every other profile.
 	Machine string
+	// Shards selects the chip's controller-domain sharded engine for every
+	// run of the sweep: 0 (the default) keeps the sequential engine and
+	// every historical trajectory byte-identical; a positive value runs
+	// each point on the sharded engine with at most that many worker
+	// goroutines. Sharded results are invariant under the worker count
+	// (the engine's core contract, pinned by the shard determinism tests),
+	// so Shards=1 and Shards=N trajectories are byte-identical too; CLIs
+	// resolve the actual budget through exp.ShardBudget so sweep jobs and
+	// run workers share the cores.
+	Shards int
 
 	// Fig. 2
 	StreamN      int64
@@ -153,10 +163,15 @@ func machineFor(sc *exp.Scratch, cfg chip.Config) *chip.Machine {
 }
 
 // runProg runs one program on the worker's cached machine for the point's
-// configuration; every experiment closure funnels through it.
-func runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, warm int64) chip.Result {
+// configuration; every experiment closure funnels through it, and the
+// options' Shards setting decides which engine executes it.
+func (o Options) runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, warm int64) chip.Result {
 	p.WarmLines = warm
-	return machineFor(sc, cfg).Run(p)
+	m := machineFor(sc, cfg)
+	if o.Shards != 0 {
+		return m.RunSharded(p, o.Shards)
+	}
+	return m.Run(p)
 }
 
 // bwMetrics exposes the secondary metrics every bandwidth trajectory
@@ -179,6 +194,10 @@ func measured(res exp.Result, r chip.Result) exp.Result {
 	res.Accesses = r.L2.Hits + r.L2.Misses
 	res.FFItems = r.FFItems
 	res.FFCycles = r.FFCycles
+	res.Shards = r.Shards
+	res.EpochWidth = r.EpochWidth
+	res.Epochs = r.Epochs
+	res.BarrierStalls = r.BarrierStalls
 	return res
 }
 
@@ -226,7 +245,7 @@ func (o Options) Fig2Exp() exp.Experiment {
 			}
 			th := p.Int("threads")
 			off := p.Int64("offset")
-			r := runProg(cfg, sc, o.streamProg(sc, kind, off, th), o.warmLines())
+			r := o.runProg(cfg, sc, o.streamProg(sc, kind, off, th), o.warmLines())
 			return measured(exp.Result{
 				Series:  fmt.Sprintf("%s/%dT", p.Str("kernel"), th),
 				X:       float64(off),
@@ -351,7 +370,7 @@ func (o Options) Fig4Exp() exp.Experiment {
 					series = fmt.Sprintf("align8k+%d", off)
 				}
 			}
-			r := runProg(cfg, sc, prog, o.warmLines())
+			r := o.runProg(cfg, sc, prog, o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -410,7 +429,7 @@ func (o Options) Fig5Exp(threads int) exp.Experiment {
 				prog = k.Program(omp.StaticBlock{}, threads)
 				series = fmt.Sprintf("%dT non-segmented", threads)
 			}
-			r := runProg(cfg, sc, prog, o.warmLines())
+			r := o.runProg(cfg, sc, prog, o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -487,7 +506,7 @@ func (o Options) Fig6Exp() exp.Experiment {
 				spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
 				series = fmt.Sprintf("%dT", th)
 			}
-			r := runProg(cfg, sc, spec.Program(th), o.warmLines())
+			r := o.runProg(cfg, sc, spec.Program(th), o.warmLines())
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -554,7 +573,7 @@ func (o Options) Fig7Exp() exp.Experiment {
 				MaskBase: sp.Malloc(lbm.MaskBytes(n)),
 				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
-			r := runProg(cfg, sc, spec.Program(v.threads), o.warmLines())
+			r := o.runProg(cfg, sc, spec.Program(v.threads), o.warmLines())
 			return measured(exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}

@@ -100,7 +100,7 @@ func (o Options) ScalingExp() exp.Experiment {
 
 			k := kernels.LoadSum(bases, n)
 			prog := k.Program(omp.StaticBlock{}, threads)
-			r := runProg(prof.Config, sc, prog, prof.Config.L2.SizeBytes/phys.LineSize)
+			r := o.runProg(prof.Config, sc, prog, prof.Config.L2.SizeBytes/phys.LineSize)
 			m := bwMetrics(r)
 			m["predicted"] = pred
 			m["controllers"] = float64(ms.Mapping.Controllers())

@@ -100,9 +100,14 @@ type Banked struct {
 	// line stays valid exactly as long as its set's install count is
 	// unchanged — the guard that lets the chip's NACK-retry loop skip
 	// re-probing on every tick.
-	vers      []uint32
-	clock     uint64
-	stats     Stats
+	vers []uint32
+	// clocks are per-bank LRU stamp counters. LRU only ever compares stamps
+	// within one set, and a set's commits are a subsequence of its bank's,
+	// so per-bank clocks preserve exactly the victim choices a single global
+	// clock would make — while giving the sharded engine's bank-partitioned
+	// concurrency a clock it can advance without cross-bank traffic. All
+	// counters are per-bank for the same reason; Stats sums them.
+	clocks    []uint64
 	bankStats []Stats
 }
 
@@ -148,6 +153,7 @@ func New(cfg Config, mapping phys.Mapping) *Banked {
 		valid:       make([]uint64, setsTotal),
 		dirty:       make([]uint64, setsTotal),
 		ptagStride:  (cfg.Ways + 7) / 8,
+		clocks:      make([]uint64, cfg.Banks),
 		bankStats:   make([]Stats, cfg.Banks),
 	}
 	c.ptags = make([]uint64, setsTotal*int64(c.ptagStride))
@@ -252,13 +258,13 @@ func (c *Banked) ProbeLine(addr phys.Addr) Probe {
 func (c *Banked) Commit(p Probe, write bool) Result {
 	setIdx := int(p.set)
 	base := setIdx * c.cfg.Ways
-	c.clock++
+	c.clocks[p.Bank]++
+	stamp := c.clocks[p.Bank]
 	if p.way >= 0 {
-		c.used[base+int(p.way)] = c.clock
+		c.used[base+int(p.way)] = stamp
 		if write {
 			c.dirty[setIdx] |= 1 << uint(p.way)
 		}
-		c.stats.Hits++
 		c.bankStats[p.Bank].Hits++
 		return Result{Hit: true}
 	}
@@ -286,7 +292,6 @@ func (c *Banked) Commit(p Probe, write bool) Result {
 	if vm&vbit != 0 && c.dirty[setIdx]&vbit != 0 {
 		res.VictimDirty = true
 		res.Victim = c.reconstruct(setIdx, c.tags[base+victim])
-		c.stats.Writebacks++
 		c.bankStats[p.Bank].Writebacks++
 	}
 	c.tags[base+victim] = p.tag
@@ -300,8 +305,7 @@ func (c *Banked) Commit(p Probe, write bool) Result {
 	} else {
 		c.dirty[setIdx] &^= vbit
 	}
-	used[victim] = c.clock
-	c.stats.Misses++
+	used[victim] = stamp
 	c.bankStats[p.Bank].Misses++
 	return res
 }
@@ -376,8 +380,17 @@ func (c *Banked) reconstruct(setIdx int, tag uint64) phys.Addr {
 	return phys.Addr(addr)
 }
 
-// Stats returns aggregate counters.
-func (c *Banked) Stats() Stats { return c.stats }
+// Stats returns aggregate counters: the per-bank counters summed in bank
+// order, so the aggregate is deterministic however the banks were driven.
+func (c *Banked) Stats() Stats {
+	var s Stats
+	for i := range c.bankStats {
+		s.Hits += c.bankStats[i].Hits
+		s.Misses += c.bankStats[i].Misses
+		s.Writebacks += c.bankStats[i].Writebacks
+	}
+	return s
+}
 
 // BankStatsInto copies the per-bank counters into dst (which must have one
 // entry per bank) without allocating — the snapshot path of the chip's
@@ -392,7 +405,7 @@ type Image struct {
 	tags, used   []uint64
 	valid, dirty []uint64
 	ptags        []uint64
-	clock        uint64
+	clocks       []uint64
 }
 
 // Snapshot captures the current tag-store contents.
@@ -417,7 +430,7 @@ func (c *Banked) SnapshotInto(img *Image) {
 	cp(&img.valid, c.valid)
 	cp(&img.dirty, c.dirty)
 	cp(&img.ptags, c.ptags)
-	img.clock = c.clock
+	cp(&img.clocks, c.clocks)
 }
 
 // Restore overwrites the tag store with a snapshot taken from a cache of
@@ -432,7 +445,7 @@ func (c *Banked) Restore(img *Image) {
 	copy(c.valid, img.valid)
 	copy(c.dirty, img.dirty)
 	copy(c.ptags, img.ptags)
-	c.clock = img.clock
+	copy(c.clocks, img.clocks)
 	c.ResetStats()
 }
 
@@ -443,18 +456,17 @@ func (c *Banked) BankStats() []Stats {
 	return out
 }
 
-// SetStats overwrites the aggregate and per-bank counters — the
-// counterpart of Stats/BankStatsInto used when a tag-store checkpoint is
-// rolled back and the counters must be re-imposed alongside it.
-func (c *Banked) SetStats(agg Stats, banks []Stats) {
-	c.stats = agg
+// SetStats overwrites the per-bank counters (and with them the aggregate,
+// which is their sum) — the counterpart of BankStatsInto used when a
+// tag-store checkpoint is rolled back and the counters must be re-imposed
+// alongside it.
+func (c *Banked) SetStats(banks []Stats) {
 	copy(c.bankStats, banks)
 }
 
 // ResetStats clears the counters but keeps cache contents — used after
 // warm-up phases so reported statistics cover only the timed region.
 func (c *Banked) ResetStats() {
-	c.stats = Stats{}
 	for i := range c.bankStats {
 		c.bankStats[i] = Stats{}
 	}
@@ -468,8 +480,7 @@ func (c *Banked) Reset() {
 	clear(c.dirty)
 	clear(c.ptags)
 	clear(c.vers)
-	c.clock = 0
-	c.stats = Stats{}
+	clear(c.clocks)
 	for i := range c.bankStats {
 		c.bankStats[i] = Stats{}
 	}

@@ -117,6 +117,15 @@ type Result struct {
 	FFItems  int64 // work items covered by steady-state fast-forward
 	FFCycles int64 // cycles covered by steady-state fast-forward
 	FFPeriod int64 // last detected steady-state period in cycles (0: none)
+
+	// Sharded-engine telemetry (see parallel.go), zero for sequential runs.
+	// Like the FF fields these are deterministic descriptions of the run —
+	// invariant under the worker count, which never appears here because it
+	// is an execution detail that must not change a single result byte.
+	Shards        int64 // controller domains the run was partitioned into
+	EpochWidth    int64 // conservative epoch width in cycles
+	Epochs        int64 // synchronization epochs executed
+	BarrierStalls int64 // (shard, epoch) pairs where a shard had no event to run
 }
 
 // Balance returns min/max controller utilization, the paper's notion of
@@ -149,8 +158,10 @@ func (r Result) Balance() float64 {
 // of megabytes of reconstruction. A Machine may be reused freely but not
 // concurrently; sweep harnesses keep one per worker (see exp.Scratch).
 type Machine struct {
-	cfg Config
-	rs  *runState
+	cfg     Config
+	rs      *runState
+	pps     *parState // sharded-engine run state (see parallel.go)
+	shardOK int8      // memoized Shardable verdict: 0 unknown, 1 yes, -1 no
 	// Warm-up L2 image: PrefillSequential over WarmLines is identical for
 	// every run of a machine, so it is replayed once and restored by
 	// memcpy afterwards.
@@ -494,13 +505,13 @@ func (rs *runState) step(s *strand) {
 	}
 }
 
-// Run executes prog to completion and reports aggregate performance.
-func (m *Machine) Run(prog *trace.Program) Result {
+// validateTeam checks the program's team size against the machine topology
+// up front: Place wraps thread indices modulo the core count, so an
+// oversized team would otherwise be silently co-scheduled onto already-
+// occupied strands and quietly misreport every per-strand stall and
+// placement result.
+func (m *Machine) validateTeam(prog *trace.Program) {
 	n := len(prog.Gens)
-	// Validate the team size against the machine topology up front: Place
-	// wraps thread indices modulo the core count, so an oversized team would
-	// otherwise be silently co-scheduled onto already-occupied strands and
-	// quietly misreport every per-strand stall and placement result.
 	if n == 0 {
 		panic("chip: program with no threads")
 	}
@@ -508,6 +519,33 @@ func (m *Machine) Run(prog *trace.Program) Result {
 		panic(fmt.Sprintf("chip: team of %d threads exceeds the machine's %d hardware strands (%d cores x %d strands); shrink the team or pick a larger machine profile",
 			n, max, m.cfg.Cores, m.cfg.StrandsPerCore))
 	}
+}
+
+// warmL2 pre-fills l2 with dirty lines of an address range no kernel uses,
+// so the first sweep already evicts and writes back at the steady-state
+// rate. The warmed tag store is identical for every run of a machine, so
+// it is simulated once and restored from a snapshot on reuse; both engines
+// (sequential and sharded) share the snapshot, since their caches have
+// identical geometry.
+func (m *Machine) warmL2(l2 *cache.Banked, warmLines int64) {
+	if warmLines <= 0 {
+		return
+	}
+	if m.warmImg != nil && m.warmLines == warmLines {
+		l2.Restore(m.warmImg)
+		return
+	}
+	const warmBase phys.Addr = 1 << 40
+	l2.PrefillSequential(warmBase, warmLines, true)
+	l2.ResetStats()
+	m.warmImg = l2.Snapshot()
+	m.warmLines = warmLines
+}
+
+// Run executes prog to completion and reports aggregate performance.
+func (m *Machine) Run(prog *trace.Program) Result {
+	m.validateTeam(prog)
+	n := len(prog.Gens)
 	rs := m.rs
 	if rs == nil {
 		rs = &runState{
@@ -549,22 +587,7 @@ func (m *Machine) Run(prog *trace.Program) Result {
 		rs.window[0] = int32(n) // every strand starts at 0 completed items
 		rs.active = n
 	}
-	// Pre-warm: fill the L2 with dirty lines of an address range no kernel
-	// uses, so the first sweep already evicts and writes back at the
-	// steady-state rate. The warmed tag store is identical for every run
-	// of a machine, so it is simulated once and restored from a snapshot
-	// on reuse.
-	if prog.WarmLines > 0 {
-		if m.warmImg != nil && m.warmLines == prog.WarmLines {
-			rs.l2.Restore(m.warmImg)
-		} else {
-			const warmBase phys.Addr = 1 << 40
-			rs.l2.PrefillSequential(warmBase, prog.WarmLines, true)
-			rs.l2.ResetStats()
-			m.warmImg = rs.l2.Snapshot()
-			m.warmLines = prog.WarmLines
-		}
-	}
+	m.warmL2(rs.l2, prog.WarmLines)
 	for len(rs.pool) < n {
 		s := &strand{id: len(rs.pool), sb: make([]sim.Time, m.cfg.StoreBuffer)}
 		if m.cfg.MSHRPerStrand > 1 {

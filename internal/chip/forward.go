@@ -755,7 +755,7 @@ replay:
 		// Restore the tag store and re-impose the pre-replay counters; the
 		// run continues as if the jump had never been attempted.
 		rs.l2.Restore(&ff.rollback)
-		rs.l2.SetStats(pre, ff.l2BPre)
+		rs.l2.SetStats(ff.l2BPre)
 		return false
 	}
 	return true

@@ -193,6 +193,15 @@ type Result struct {
 	Accesses int64 `json:"-"`
 	FFItems  int64 `json:"-"`
 	FFCycles int64 `json:"-"`
+	// Sharded-engine telemetry (chip.Result.Shards/EpochWidth/Epochs/
+	// BarrierStalls): how the run was partitioned, the epoch width it
+	// actually derived, and how often a shard reached an epoch barrier
+	// with nothing to execute. Deterministic descriptions of the
+	// computation, excluded from JSON like the rest of the telemetry.
+	Shards        int64 `json:"-"`
+	EpochWidth    int64 `json:"-"`
+	Epochs        int64 `json:"-"`
+	BarrierStalls int64 `json:"-"`
 }
 
 // Scratch is a per-worker reuse arena. Every point a worker evaluates
@@ -300,6 +309,25 @@ func (o Outcome) FastForwardTotals() (items, cycles int64) {
 		cycles += pr.Result.FFCycles
 	}
 	return items, cycles
+}
+
+// ShardTotals sums the sharded-engine telemetry over every point: epoch
+// barriers executed and barrier arrivals with no local work. shards and
+// width are the maximum domain count and epoch width seen (0 when every
+// point ran sequentially) — ground truth from the engine, not a mirror of
+// its derivation.
+func (o Outcome) ShardTotals() (shards, width, epochs, stalls int64) {
+	for _, pr := range o.Points {
+		if pr.Result.Shards > shards {
+			shards = pr.Result.Shards
+		}
+		if pr.Result.EpochWidth > width {
+			width = pr.Result.EpochWidth
+		}
+		epochs += pr.Result.Epochs
+		stalls += pr.Result.BarrierStalls
+	}
+	return shards, width, epochs, stalls
 }
 
 // JSON marshals the outcome canonically (indented, map keys sorted by

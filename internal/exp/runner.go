@@ -109,6 +109,32 @@ func describe(p Point) string {
 	return strings.Join(parts, " ")
 }
 
+// ShardBudget resolves the intra-run worker count for the chip's sharded
+// engine so sweep-level and run-level parallelism share one core budget
+// instead of oversubscribing: with jobs sweep workers each run gets
+// max(1, GOMAXPROCS/jobs) goroutines, and an explicit positive request
+// caps that further. requested == 0 keeps the sequential engine (returns
+// 0); requested < 0 is "auto" (the full per-run budget). The returned
+// worker count only ever changes wall-clock time — the sharded engine's
+// results are invariant under it — so deriving it from the host's core
+// count never leaks into a trajectory.
+func ShardBudget(requested, jobs int) int {
+	if requested == 0 {
+		return 0
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	budget := runtime.GOMAXPROCS(0) / jobs
+	if budget < 1 {
+		budget = 1
+	}
+	if requested > 0 && requested < budget {
+		budget = requested
+	}
+	return budget
+}
+
 // Run executes the experiment with the default runner (GOMAXPROCS
 // workers).
 func Run(e Experiment) (Outcome, error) {

@@ -177,7 +177,10 @@ func (s *Spec) Program(threads int) *trace.Program {
 	for i := range asns {
 		asns[i] = s.Sched.Assigner(s.N-2, threads)
 	}
-	p := &trace.Program{Label: fmt.Sprintf("jacobi/N=%d/%s/t=%d", s.N, s.Sched.String(), threads)}
+	p := &trace.Program{
+		Label:       fmt.Sprintf("jacobi/N=%d/%s/t=%d", s.N, s.Sched.String(), threads),
+		SharedSched: !s.Sched.PerThread(),
+	}
 	for t := 0; t < threads; t++ {
 		p.Gens = append(p.Gens, &gen{spec: s, asns: asns, thread: t})
 	}

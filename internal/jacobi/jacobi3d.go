@@ -191,7 +191,10 @@ func (s *Spec3D) Program(threads int) *trace.Program {
 	if s.Coalesce {
 		label = "jacobi3d/fused"
 	}
-	p := &trace.Program{Label: fmt.Sprintf("%s/N=%d/%s/t=%d", label, s.N, s.Sched.String(), threads)}
+	p := &trace.Program{
+		Label:       fmt.Sprintf("%s/N=%d/%s/t=%d", label, s.N, s.Sched.String(), threads),
+		SharedSched: !s.Sched.PerThread(),
+	}
 	for t := 0; t < threads; t++ {
 		p.Gens = append(p.Gens, &gen3d{spec: s, asns: asns, thread: t})
 	}

@@ -79,7 +79,10 @@ func (s *TraceSpec) Program(threads int) *trace.Program {
 	if s.Fused {
 		fused = "/fused"
 	}
-	p := &trace.Program{Label: fmt.Sprintf("lbm/%s%s/N=%d/%s/t=%d", s.Layout.Name(), fused, s.N, s.Sched.String(), threads)}
+	p := &trace.Program{
+		Label:       fmt.Sprintf("lbm/%s%s/N=%d/%s/t=%d", s.Layout.Name(), fused, s.N, s.Sched.String(), threads),
+		SharedSched: !s.Sched.PerThread(),
+	}
 	for t := 0; t < threads; t++ {
 		p.Gens = append(p.Gens, &gen{spec: s, asns: asns, thread: t})
 	}

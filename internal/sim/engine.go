@@ -535,17 +535,60 @@ func (e *Engine) peek() (Time, bool) {
 	return b.evs[b.head].when, true
 }
 
+// PeekTime returns the earliest pending timestamp without executing or
+// removing anything, and ok=false when no events are pending. The sharded
+// engine's epoch scheduler uses it to skip empty epochs deterministically.
+func (e *Engine) PeekTime() (Time, bool) { return e.peek() }
+
 // RunUntil executes events with timestamps <= t, then sets the clock to t
 // if it has not advanced that far. It returns the number of events run.
+// Like Run, it drains each earliest bucket's whole tie group without
+// re-searching the occupancy bitmap between events — the sharded engine
+// calls RunUntil once per shard per epoch, so this is its hottest loop.
+// The same invariants protect the drain: a bucket can only be refilled
+// with its own timestamp mid-drain (a timestamp one wheel revolution
+// later forces a growth, which bumps the generation and breaks out).
 func (e *Engine) RunUntil(t Time) int {
 	n := 0
-	for {
-		when, ok := e.peek()
-		if !ok || when > t {
+	if e.heapMode {
+		for {
+			when, ok := e.peek()
+			if !ok || when > t {
+				break
+			}
+			e.Step()
+			n++
+		}
+		if e.now < t {
+			e.now = t
+		}
+		return n
+	}
+	for e.count > 0 {
+		s := e.earliestSlot()
+		b := &e.slots[s]
+		if b.evs[b.head].when > t {
 			break
 		}
-		e.Step()
-		n++
+		g := e.gen
+		for {
+			ev := b.evs[b.head]
+			b.head++
+			if b.head == len(b.evs) {
+				e.release(b)
+				e.clearBit(s)
+			}
+			e.count--
+			e.dispatch(ev)
+			n++
+			if e.gen != g {
+				break // the wheel was rebuilt under us
+			}
+			b = &e.slots[s]
+			if b.head >= len(b.evs) {
+				break // bucket drained (possibly refilled and re-drained)
+			}
+		}
 	}
 	if e.now < t {
 		e.now = t

@@ -488,3 +488,79 @@ func TestEngineResetReuse(t *testing.T) {
 		t.Fatalf("replay steps %d, want %d", e.Steps(), stepsA)
 	}
 }
+
+// TestRunUntilWheelHeapDifferential pins RunUntil's tie-group drain (the
+// sharded engine's per-epoch hot loop) against the reference heap: the
+// same schedule advanced in fixed-width horizons must execute the same
+// events in the same order with the same per-chunk counts and the same
+// final clock, including horizons that split tie groups, trigger growth
+// mid-drain, and cover empty spans.
+func TestRunUntilWheelHeapDifferential(t *testing.T) {
+	f := func(seeds []byte, delays []byte, width byte) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 48 {
+			seeds = seeds[:48]
+		}
+		if len(delays) > 256 {
+			delays = delays[:256]
+		}
+		w := Time(width%7) + 1
+		type rec struct {
+			now  Time
+			arg  int32
+			kind Kind
+		}
+		run := func(heap bool) ([]rec, []int, Time) {
+			var e Engine
+			if heap {
+				e.UseReferenceHeap()
+			}
+			var trace []rec
+			var counts []int
+			di := 0
+			e.SetHandler(func(k Kind, arg int32) {
+				trace = append(trace, rec{e.Now(), arg, k})
+				if di < len(delays) {
+					d := Time(delays[di]) * Time(delays[di])
+					k2 := Kind(delays[di] % 3)
+					di++
+					e.Schedule(e.Now()+d, k2, arg+1)
+					if d%5 == 0 {
+						e.Schedule(e.Now(), k2, -arg)
+					}
+				}
+			})
+			for i, s := range seeds {
+				e.Schedule(Time(s%64), Kind(s%3), int32(i))
+			}
+			for horizon := w; e.Pending() > 0 && horizon < 1<<21; horizon += w {
+				counts = append(counts, e.RunUntil(horizon-1))
+			}
+			return trace, counts, e.Now()
+		}
+		wt, wc, wn := run(false)
+		ht, hc, hn := run(true)
+		if len(wt) != len(ht) || wn != hn {
+			t.Errorf("wheel ran %d events to %d, heap %d to %d", len(wt), wn, len(ht), hn)
+			return false
+		}
+		for i := range wt {
+			if wt[i] != ht[i] {
+				t.Errorf("event %d diverged: wheel %+v, heap %+v", i, wt[i], ht[i])
+				return false
+			}
+		}
+		for i := range wc {
+			if wc[i] != hc[i] {
+				t.Errorf("chunk %d diverged: wheel ran %d, heap %d", i, wc[i], hc[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -106,6 +106,13 @@ type Program struct {
 	// behaviour (the state a real benchmark reaches after its warm-up
 	// iterations).
 	WarmLines int64
+	// SharedSched marks programs whose generators pull work from shared,
+	// order-sensitive scheduler state (OpenMP dynamic/guided
+	// self-scheduling). Such generators must be consumed in global
+	// simulation-time order; the chip's sharded engine, which drains each
+	// shard's generators independently, falls back to the sequential engine
+	// when this is set. Kernels set it from omp.Schedule.PerThread.
+	SharedSched bool
 }
 
 // Threads returns the team size.
