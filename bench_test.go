@@ -27,13 +27,15 @@ func mean(ys []float64) float64 { return stats.Summarize(ys).Mean }
 // second, plus the fraction of simulated cycles the steady-state
 // fast-forward covered analytically.
 type simTotals struct {
-	cycles   int64
-	accesses int64
-	ffCycles int64
-	shards   int64
-	width    int64
-	epochs   int64
-	stalls   int64
+	cycles    int64
+	accesses  int64
+	ffCycles  int64
+	ffJumps   int64
+	ffSkipped int64
+	shards    int64
+	width     int64
+	epochs    int64
+	stalls    int64
 }
 
 // run executes the experiment, folds its telemetry into the totals, and
@@ -42,9 +44,12 @@ func (st *simTotals) run(e exp.Experiment) []stats.Series {
 	out := exp.MustRun(e)
 	c, a := out.Totals()
 	_, fc := out.FastForwardTotals()
+	fj, fs := out.FastForwardJumpTotals()
 	st.cycles += c
 	st.accesses += a
 	st.ffCycles += fc
+	st.ffJumps += fj
+	st.ffSkipped += fs
 	sh, w, ep, bs := out.ShardTotals()
 	if sh > st.shards {
 		st.shards = sh
@@ -66,6 +71,11 @@ func (st *simTotals) report(b *testing.B) {
 	b.ReportMetric(float64(st.accesses)/secs, "accesses/s")
 	if st.cycles > 0 {
 		b.ReportMetric(float64(st.ffCycles)/float64(st.cycles)*100, "ff-coverage-%")
+		// Jump telemetry makes coverage auditable: how many analytic jumps
+		// committed and how many engine event steps they covered, per
+		// benchmark iteration (deterministic, unlike the /s rates above).
+		b.ReportMetric(float64(st.ffJumps)/float64(b.N), "ff-jumps")
+		b.ReportMetric(float64(st.ffSkipped)/float64(b.N), "ff-skipped-epochs")
 	}
 	if st.shards > 0 {
 		// Sharded-engine scaling telemetry: the decomposition (domains),

@@ -17,7 +17,7 @@ func TestCompareOK(t *testing.T) {
 	base := bm(map[string]float64{"accesses/s": 100, "allocs/op": 10})
 	fresh := bm(map[string]float64{"accesses/s": 95, "allocs/op": 10})
 	var sb strings.Builder
-	if compare(base, fresh, 0.20, 0.02, &sb) {
+	if compare(base, fresh, 0.20, 0.02, 5, &sb) {
 		t.Fatalf("5%% drop within a 20%% budget failed:\n%s", sb.String())
 	}
 }
@@ -26,7 +26,7 @@ func TestCompareThroughputRegression(t *testing.T) {
 	base := bm(map[string]float64{"accesses/s": 100})
 	fresh := bm(map[string]float64{"accesses/s": 70})
 	var sb strings.Builder
-	if !compare(base, fresh, 0.20, 0.02, &sb) {
+	if !compare(base, fresh, 0.20, 0.02, 5, &sb) {
 		t.Fatal("30% drop passed a 20% budget")
 	}
 	out := sb.String()
@@ -39,7 +39,7 @@ func TestCompareAllocGrowthRegression(t *testing.T) {
 	base := bm(map[string]float64{"allocs/op": 10000})
 	fresh := bm(map[string]float64{"allocs/op": 11000})
 	var sb strings.Builder
-	if !compare(base, fresh, 0.20, 0.02, &sb) {
+	if !compare(base, fresh, 0.20, 0.02, 5, &sb) {
 		t.Fatal("10% alloc growth passed the 2% slack")
 	}
 }
@@ -57,7 +57,7 @@ func TestCompareToleratesOneSidedBenchmarks(t *testing.T) {
 		"BenchmarkNew":    {"accesses/s": 10, "allocs/op": 5},
 	}}
 	var sb strings.Builder
-	if compare(base, fresh, 0.20, 0.02, &sb) {
+	if compare(base, fresh, 0.20, 0.02, 5, &sb) {
 		t.Fatalf("one-sided benchmarks/metrics failed the gate:\n%s", sb.String())
 	}
 	out := sb.String()
@@ -79,12 +79,33 @@ func TestCompareAllocNoiseTolerated(t *testing.T) {
 	base := bm(map[string]float64{"allocs/op": 10000})
 	fresh := bm(map[string]float64{"allocs/op": 10120}) // +1.2%: warmup noise
 	var sb strings.Builder
-	if compare(base, fresh, 0.20, 0.02, &sb) {
+	if compare(base, fresh, 0.20, 0.02, 5, &sb) {
 		t.Fatalf("1.2%% alloc wobble failed the 2%% slack:\n%s", sb.String())
 	}
 	blown := bm(map[string]float64{"allocs/op": 20000})
 	sb.Reset()
-	if !compare(base, blown, 0.20, 0.02, &sb) {
+	if !compare(base, blown, 0.20, 0.02, 5, &sb) {
 		t.Fatal("2x alloc growth passed the gate")
+	}
+}
+
+// TestCompareFFCoverage pins the fast-forward coverage gate: the budget is
+// absolute percentage points, so a small wobble passes while losing a
+// figure's worth of coverage fails, including a collapse to zero.
+func TestCompareFFCoverage(t *testing.T) {
+	base := bm(map[string]float64{"ff-coverage-%": 52.0})
+	fresh := bm(map[string]float64{"ff-coverage-%": 48.5}) // -3.5 pts: wobble
+	var sb strings.Builder
+	if compare(base, fresh, 0.20, 0.02, 5, &sb) {
+		t.Fatalf("3.5-point coverage drop failed a 5-point budget:\n%s", sb.String())
+	}
+	lost := bm(map[string]float64{"ff-coverage-%": 0})
+	sb.Reset()
+	if !compare(base, lost, 0.20, 0.02, 5, &sb) {
+		t.Fatal("coverage collapse to zero passed the gate")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "delta table") {
+		t.Errorf("failure output missing regression marker or delta table:\n%s", out)
 	}
 }

@@ -182,7 +182,7 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 			N: p.n, Layout: layout,
 			OldBase:  sp.Malloc(lbm.GridBytes(p.n, layout)),
 			NewBase:  sp.Malloc(lbm.GridBytes(p.n, layout)),
-			MaskBase: sp.Malloc(lbm.MaskBytes(p.n)),
+			MaskBase: sp.Malloc(lbm.MaskBytes(p.n, layout)),
 			Fused:    p.fused, Sched: schedule, Sweeps: p.sweeps,
 		}
 		prog = spec.Program(p.threads)

@@ -68,7 +68,7 @@ func main() {
 			N: simN, Layout: layout,
 			OldBase:  sp.Malloc(lbm.GridBytes(simN, layout)),
 			NewBase:  sp.Malloc(lbm.GridBytes(simN, layout)),
-			MaskBase: sp.Malloc(lbm.MaskBytes(simN)),
+			MaskBase: sp.Malloc(lbm.MaskBytes(simN, layout)),
 			Fused:    fused, Sched: omp.StaticBlock{}, Sweeps: 1,
 		}
 		pr := spec.Program(threads)

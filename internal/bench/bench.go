@@ -194,6 +194,8 @@ func measured(res exp.Result, r chip.Result) exp.Result {
 	res.Accesses = r.L2.Hits + r.L2.Misses
 	res.FFItems = r.FFItems
 	res.FFCycles = r.FFCycles
+	res.FFJumps = r.FFJumps
+	res.FFSkippedEpochs = r.FFSkippedEpochs
 	res.Shards = r.Shards
 	res.EpochWidth = r.EpochWidth
 	res.Epochs = r.Epochs
@@ -570,7 +572,7 @@ func (o Options) Fig7Exp() exp.Experiment {
 				N: n, Layout: v.layout,
 				OldBase:  sp.Malloc(lbm.GridBytes(n, v.layout)),
 				NewBase:  sp.Malloc(lbm.GridBytes(n, v.layout)),
-				MaskBase: sp.Malloc(lbm.MaskBytes(n)),
+				MaskBase: sp.Malloc(lbm.MaskBytes(n, v.layout)),
 				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
 			r := o.runProg(cfg, sc, spec.Program(v.threads), o.warmLines())

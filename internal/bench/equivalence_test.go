@@ -17,6 +17,7 @@ import (
 // point result allowed to differ between full simulation and fast-forward.
 func stripFFExp(r exp.Result) exp.Result {
 	r.FFItems, r.FFCycles = 0, 0
+	r.FFJumps, r.FFSkippedEpochs = 0, 0
 	return r
 }
 
@@ -76,6 +77,40 @@ func TestFigureFastForwardEquivalence(t *testing.T) {
 	}
 }
 
+// TestFig7FastForwardEquivalence is the dedicated stencil leg: every point
+// of the Fig. 7 LBM sweep (all four layout/fusion variants) evaluated both
+// with the fast-forward detector armed and with it disabled, at a scale
+// small enough for the race-detector CI job. On the LBM access pattern the
+// detector observes, probes, and declines to commit (the writeback stream
+// is quasi-periodic — see DESIGN.md), so this pins the expensive half of
+// the contract: an armed detector that never jumps must still be
+// invisible, byte for byte, in every result field.
+func TestFig7FastForwardEquivalence(t *testing.T) {
+	o := tiny()
+	o.LBMNs = []int64{16, 24}
+	e := o.Fig7Exp()
+	for i, p := range e.Points() {
+		cfgOn := e.Cfg
+		cfgOff := e.Cfg
+		cfgOff.DisableFastForward = true
+		on, err := e.Run(cfgOn, p, &exp.Scratch{})
+		if err != nil {
+			t.Fatalf("fig7 point %d (ff on): %v", i, err)
+		}
+		off, err := e.Run(cfgOff, p, &exp.Scratch{})
+		if err != nil {
+			t.Fatalf("fig7 point %d (ff off): %v", i, err)
+		}
+		if off.FFItems != 0 {
+			t.Fatalf("fig7 point %d: disabled run fast-forwarded %d items", i, off.FFItems)
+		}
+		if !reflect.DeepEqual(stripFFExp(on), stripFFExp(off)) {
+			t.Errorf("fig7 point %d (%v): fast-forward diverged:\n ff:   %+v\n full: %+v",
+				i, p.Params, on, off)
+		}
+	}
+}
+
 // TestProfileFastForwardEquivalence proves full chip.Result equality —
 // cycles, retire counts, stall breakdowns, L2 stats, per-controller
 // traffic and utilization — between fast-forwarded and full simulation on
@@ -85,6 +120,7 @@ func TestFigureFastForwardEquivalence(t *testing.T) {
 func TestProfileFastForwardEquivalence(t *testing.T) {
 	stripFF := func(r chip.Result) chip.Result {
 		r.FFItems, r.FFCycles, r.FFPeriod = 0, 0, 0
+		r.FFJumps, r.FFSkippedEpochs = 0, 0
 		return r
 	}
 	anyForwarded := false

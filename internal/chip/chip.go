@@ -114,9 +114,11 @@ type Result struct {
 	// was computed, not what it computed: a fast-forwarded run reports the
 	// same Cycles, counters and traffic as full simulation, plus how much
 	// of the work was covered analytically.
-	FFItems  int64 // work items covered by steady-state fast-forward
-	FFCycles int64 // cycles covered by steady-state fast-forward
-	FFPeriod int64 // last detected steady-state period in cycles (0: none)
+	FFItems         int64 // work items covered by steady-state fast-forward
+	FFCycles        int64 // cycles covered by steady-state fast-forward
+	FFPeriod        int64 // last detected steady-state period in cycles (0: none)
+	FFJumps         int64 // committed analytic jumps (item- or iteration-periodic)
+	FFSkippedEpochs int64 // engine event steps covered analytically instead of simulated
 
 	// Sharded-engine telemetry (see parallel.go), zero for sequential runs.
 	// Like the FF fields these are deterministic descriptions of the run —
@@ -336,7 +338,7 @@ func (rs *runState) load(t sim.Time, line phys.Addr, p cache.Probe) sim.Time {
 	bankStart, bankDone := rs.banks[p.Bank].Acquire(arrive, rs.cfg.L2BankService)
 	res := rs.l2.Commit(p, false)
 	if rs.ff.recOn {
-		rs.recAccess(line, false, res.Hit, res.VictimDirty)
+		rs.recAccess(line, false, res.Hit, res.VictimDirty, res.Victim)
 	}
 	var dataAt sim.Time
 	if res.Hit {
@@ -362,7 +364,7 @@ func (rs *runState) store(t sim.Time, line phys.Addr, p cache.Probe) (proceed, f
 	_, bankDone := rs.banks[p.Bank].Acquire(arrive, rs.cfg.L2BankService)
 	res := rs.l2.Commit(p, true)
 	if rs.ff.recOn {
-		rs.recAccess(line, true, res.Hit, res.VictimDirty)
+		rs.recAccess(line, true, res.Hit, res.VictimDirty, res.Victim)
 	}
 	fill = bankDone
 	if !res.Hit {
@@ -645,9 +647,11 @@ func (m *Machine) Run(prog *trace.Program) Result {
 		RetryStall:   rs.retryStall,
 		Retries:      rs.retries,
 
-		FFItems:  rs.ff.items,
-		FFCycles: rs.ff.cycles,
-		FFPeriod: rs.ff.period,
+		FFItems:         rs.ff.items,
+		FFCycles:        rs.ff.cycles,
+		FFPeriod:        rs.ff.period,
+		FFJumps:         rs.ff.jumps,
+		FFSkippedEpochs: rs.ff.skipped,
 	}
 	res.GBps = float64(rs.repBytes) / secs / 1e9
 	res.ActualGBps = float64(lines*m.cfg.L2.LineSize) / secs / 1e9

@@ -26,6 +26,7 @@ func triadProgAt(n, off int64, threads int) *trace.Program {
 // of a Result allowed to differ between full simulation and fast-forward.
 func stripFF(r Result) Result {
 	r.FFItems, r.FFCycles, r.FFPeriod = 0, 0, 0
+	r.FFJumps, r.FFSkippedEpochs = 0, 0
 	return r
 }
 

@@ -433,6 +433,14 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 	res.GBps = float64(res.RepBytes) / secs / 1e9
 	res.ActualGBps = float64(lines*cfg.L2.LineSize) / secs / 1e9
 	res.MUPs = float64(res.Units) / secs / 1e6
+	// Explicit fast-forward guard: the sharded engine never arms the
+	// detector (parState carries none), and these zeroes keep that
+	// invariant visible and testable rather than implicit. An analytic
+	// jump would have to reconcile skipped work with the epoch barriers of
+	// every other domain, which the deterministic-interleave argument does
+	// not cover.
+	res.FFItems, res.FFCycles, res.FFPeriod = 0, 0, 0
+	res.FFJumps, res.FFSkippedEpochs = 0, 0
 	return res
 }
 

@@ -162,3 +162,25 @@ func demandOf(n int64) (d cpu.Demand) {
 	d.IntOps = n
 	return
 }
+
+// TestShardedFastForwardDisabled is the explicit interaction guard between
+// fast-forward and the sharded engine: fast-forward must never engage
+// under RunSharded. The program is one the SEQUENTIAL engine provably
+// locks and jumps on — so the zero-telemetry assertion is not vacuous —
+// and the sharded run of the same program must report no fast-forward
+// coverage at all.
+func TestShardedFastForwardDisabled(t *testing.T) {
+	cfg := t2cfg()
+	seq := New(cfg).Run(triadProgAt(1<<15, 8, 16))
+	if seq.FFCycles == 0 || seq.FFJumps == 0 {
+		t.Fatalf("sequential reference did not engage fast-forward (items=%d jumps=%d); guard test is vacuous", seq.FFItems, seq.FFJumps)
+	}
+	sh := New(cfg).RunSharded(triadProgAt(1<<15, 8, 16), 0)
+	if sh.Shards == 0 {
+		t.Fatal("program unexpectedly fell back to the sequential engine")
+	}
+	if sh.FFItems != 0 || sh.FFCycles != 0 || sh.FFPeriod != 0 || sh.FFJumps != 0 || sh.FFSkippedEpochs != 0 {
+		t.Errorf("sharded run reports fast-forward telemetry: items=%d cycles=%d period=%d jumps=%d skipped=%d",
+			sh.FFItems, sh.FFCycles, sh.FFPeriod, sh.FFJumps, sh.FFSkippedEpochs)
+	}
+}

@@ -189,10 +189,12 @@ type Result struct {
 	// the point was covered by the chip's steady-state fast-forward — a
 	// how-it-was-computed stamp that must never change what was computed,
 	// which is why it too stays out of the trajectories.
-	Cycles   int64 `json:"-"`
-	Accesses int64 `json:"-"`
-	FFItems  int64 `json:"-"`
-	FFCycles int64 `json:"-"`
+	Cycles          int64 `json:"-"`
+	Accesses        int64 `json:"-"`
+	FFItems         int64 `json:"-"`
+	FFCycles        int64 `json:"-"`
+	FFJumps         int64 `json:"-"`
+	FFSkippedEpochs int64 `json:"-"`
 	// Sharded-engine telemetry (chip.Result.Shards/EpochWidth/Epochs/
 	// BarrierStalls): how the run was partitioned, the epoch width it
 	// actually derived, and how often a shard reached an epoch barrier
@@ -309,6 +311,16 @@ func (o Outcome) FastForwardTotals() (items, cycles int64) {
 		cycles += pr.Result.FFCycles
 	}
 	return items, cycles
+}
+
+// FastForwardJumpTotals sums the jump telemetry over every point: how many
+// analytic jumps committed and how many engine event steps they covered.
+func (o Outcome) FastForwardJumpTotals() (jumps, skipped int64) {
+	for _, pr := range o.Points {
+		jumps += pr.Result.FFJumps
+		skipped += pr.Result.FFSkippedEpochs
+	}
+	return jumps, skipped
 }
 
 // ShardTotals sums the sharded-engine telemetry over every point: epoch

@@ -1,0 +1,177 @@
+package jacobi
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// drainGen collects a generator's remaining items (deep copies).
+func drainGen(g trace.Generator) []trace.Item {
+	var out []trace.Item
+	var it trace.Item
+	for {
+		it.Reset()
+		if !g.Next(&it) {
+			return out
+		}
+		out = append(out, trace.Item{
+			Acc:      append([]trace.Access(nil), it.Acc...),
+			Demand:   it.Demand,
+			Units:    it.Units,
+			RepBytes: it.RepBytes,
+		})
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// iterSkipEquivalence runs the IterForwardable contract check on one
+// generator pair: drive the reference by Next alone; drive the subject j
+// items in, then to the next iteration boundary, then SkipIters(m) for a
+// line-aligned m up to ItersRemaining, then Next to the end. The subject's
+// tail must be byte-for-byte the reference's stream at the skipped
+// position — SkipIters(m) must leave exactly the state m iterations of
+// Next calls would. The reference stream also pins the uniform-region
+// promise itself: within ItersRemaining, each iteration is the previous
+// one's image shifted by IterStride bytes.
+func iterSkipEquivalence(t *testing.T, ref, sub trace.Generator, j, frac int) bool {
+	t.Helper()
+	want := drainGen(ref)
+	fw, ok := sub.(trace.IterForwardable)
+	if !ok {
+		t.Fatal("generator does not implement trace.IterForwardable")
+	}
+	var it trace.Item
+	taken := int64(0)
+	for i := 0; i < j; i++ {
+		it.Reset()
+		if !sub.Next(&it) {
+			return true // script shorter than j: nothing to check
+		}
+		taken++
+	}
+	for !fw.AtIterBoundary() {
+		it.Reset()
+		if !sub.Next(&it) {
+			return true
+		}
+		taken++
+	}
+	u := fw.ItersRemaining()
+	st := fw.IterStride()
+	ii := fw.IterItems()
+	if u < 0 || ii <= 0 {
+		t.Fatalf("ItersRemaining=%d IterItems=%d", u, ii)
+	}
+	if u == 0 || st == 0 {
+		return true // no uniform region here: nothing to skip
+	}
+	// Accesses are emitted line-granular, so iteration images translate
+	// exactly only across LINE-ALIGNED shifts — align iterations apart —
+	// which is also the only spacing SkipIters promises exactness for (the
+	// machine's controller-span alignment guarantee subsumes it).
+	abs := st
+	if abs < 0 {
+		abs = -abs
+	}
+	align := phys.LineSize / gcd64(abs, phys.LineSize)
+	// The uniform-region promise, checked on the reference stream: within
+	// the promised window, each iteration is the line-aligned image of the
+	// one align iterations before it, shifted by align*IterStride bytes.
+	if u >= align+1 {
+		for q := taken; q < taken+ii && q+align*ii < int64(len(want)); q++ {
+			a, b := want[q], want[q+align*ii]
+			if len(a.Acc) != len(b.Acc) || a.Demand != b.Demand || a.Units != b.Units {
+				t.Errorf("iteration image mismatch at item %d (+%d iters): structure differs", q, align)
+				return false
+			}
+			for x := range a.Acc {
+				if b.Acc[x].Addr != a.Acc[x].Addr+phys.Addr(align*st) || b.Acc[x].Write != a.Acc[x].Write {
+					t.Errorf("iteration image mismatch at item %d acc %d: %+v -> %+v, stride %d", q, x, a.Acc[x], b.Acc[x], align*st)
+					return false
+				}
+			}
+		}
+	}
+	m := u * int64(frac%100+1) / 100
+	m -= m % align
+	if m <= 0 {
+		return true
+	}
+	fw.SkipIters(m)
+	got := drainGen(sub)
+	tail := want[taken+m*ii:]
+	if len(got) != len(tail) {
+		t.Errorf("j=%d m=%d: %d items after SkipIters, want %d", j, m, len(got), len(tail))
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], tail[i]) {
+			t.Errorf("j=%d m=%d: item %d after SkipIters differs:\n got  %+v\n want %+v", j, m, i, got[i], tail[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestIterSkipEquivalence2D fuzzes SkipIters/ItersRemaining on the 2D
+// Jacobi generator across grid sizes, schedules, team sizes, positions and
+// skip widths.
+func TestIterSkipEquivalence2D(t *testing.T) {
+	f := func(nB, thB, jB, fracB uint8) bool {
+		n := int64(16 + nB%33)
+		threads := int(thB%5) + 1
+		var sched omp.Schedule = omp.StaticBlock{}
+		if thB%2 == 0 {
+			sched = omp.StaticChunk{Size: 1}
+		}
+		mk := func() trace.Generator {
+			spec := Spec{
+				N:      n,
+				Src:    PlainRows(0x1000000, n),
+				Dst:    PlainRows(0x9000000, n),
+				Sched:  sched,
+				Sweeps: 1 + int(thB%2),
+			}
+			return spec.Program(threads).Gens[int(jB)%threads]
+		}
+		return iterSkipEquivalence(t, mk(), mk(), int(jB%60), int(fracB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIterSkipEquivalence3D fuzzes the 3D generator in both parallelization
+// modes (z-loop and coalesced z*y).
+func TestIterSkipEquivalence3D(t *testing.T) {
+	f := func(nB, thB, jB, fracB uint8) bool {
+		n := int64(8 + nB%13)
+		threads := int(thB%5) + 1
+		mk := func() trace.Generator {
+			spec := Spec3D{
+				N:        n,
+				Src:      PlainRows3D(0x1000000, n),
+				Dst:      PlainRows3D(0x9000000, n),
+				Sched:    omp.StaticBlock{},
+				Sweeps:   1 + int(thB%2),
+				Coalesce: thB%2 == 0,
+			}
+			return spec.Program(threads).Gens[int(jB)%threads]
+		}
+		return iterSkipEquivalence(t, mk(), mk(), int(jB%60), int(fracB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

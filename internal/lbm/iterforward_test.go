@@ -1,0 +1,142 @@
+package lbm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// drainGen collects a generator's remaining items (deep copies).
+func drainGen(g trace.Generator) []trace.Item {
+	var out []trace.Item
+	var it trace.Item
+	for {
+		it.Reset()
+		if !g.Next(&it) {
+			return out
+		}
+		out = append(out, trace.Item{
+			Acc:      append([]trace.Access(nil), it.Acc...),
+			Demand:   it.Demand,
+			Units:    it.Units,
+			RepBytes: it.RepBytes,
+		})
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// iterSkipEquivalence mirrors the Jacobi IterForwardable contract check
+// for the LBM generator: drive the reference by Next alone; drive the
+// subject j items in, then to the next iteration boundary, then
+// SkipIters(m) for a line-aligned m up to ItersRemaining, then Next to the
+// end. The subject's tail must be byte-for-byte the reference's stream at
+// the skipped position, and the reference stream itself must satisfy the
+// uniform-region promise across line-aligned iteration shifts.
+func iterSkipEquivalence(t *testing.T, ref, sub trace.Generator, j, frac int) bool {
+	t.Helper()
+	want := drainGen(ref)
+	fw, ok := sub.(trace.IterForwardable)
+	if !ok {
+		t.Fatal("generator does not implement trace.IterForwardable")
+	}
+	var it trace.Item
+	taken := int64(0)
+	for i := 0; i < j; i++ {
+		it.Reset()
+		if !sub.Next(&it) {
+			return true // script shorter than j: nothing to check
+		}
+		taken++
+	}
+	for !fw.AtIterBoundary() {
+		it.Reset()
+		if !sub.Next(&it) {
+			return true
+		}
+		taken++
+	}
+	u := fw.ItersRemaining()
+	st := fw.IterStride()
+	ii := fw.IterItems()
+	if u < 0 || ii <= 0 {
+		t.Fatalf("ItersRemaining=%d IterItems=%d", u, ii)
+	}
+	if u == 0 || st == 0 {
+		return true // no uniform region here: nothing to skip
+	}
+	abs := st
+	if abs < 0 {
+		abs = -abs
+	}
+	align := phys.LineSize / gcd64(abs, phys.LineSize)
+	if u >= align+1 {
+		for q := taken; q < taken+ii && q+align*ii < int64(len(want)); q++ {
+			a, b := want[q], want[q+align*ii]
+			if len(a.Acc) != len(b.Acc) || a.Demand != b.Demand || a.Units != b.Units {
+				t.Errorf("iteration image mismatch at item %d (+%d iters): structure differs", q, align)
+				return false
+			}
+			for x := range a.Acc {
+				if b.Acc[x].Addr != a.Acc[x].Addr+phys.Addr(align*st) || b.Acc[x].Write != a.Acc[x].Write {
+					t.Errorf("iteration image mismatch at item %d acc %d: %+v -> %+v, stride %d", q, x, a.Acc[x], b.Acc[x], align*st)
+					return false
+				}
+			}
+		}
+	}
+	m := u * int64(frac%100+1) / 100
+	m -= m % align
+	if m <= 0 {
+		return true
+	}
+	fw.SkipIters(m)
+	got := drainGen(sub)
+	tail := want[taken+m*ii:]
+	if len(got) != len(tail) {
+		t.Errorf("j=%d m=%d: %d items after SkipIters, want %d", j, m, len(got), len(tail))
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], tail[i]) {
+			t.Errorf("j=%d m=%d: item %d after SkipIters differs:\n got  %+v\n want %+v", j, m, i, got[i], tail[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestIterSkipEquivalence fuzzes SkipIters/ItersRemaining on the LBM
+// generator across layouts, loop structures, team sizes, positions and
+// skip widths.
+func TestIterSkipEquivalence(t *testing.T) {
+	f := func(nB, thB, jB, fracB uint8) bool {
+		n := int64(8 + nB%9)
+		threads := int(thB%4) + 1
+		layout := IJKv
+		if nB%2 == 0 {
+			layout = IvJK
+		}
+		mk := func() trace.Generator {
+			spec := TraceSpec{
+				N: n, Layout: layout,
+				OldBase: 0x1000000, NewBase: 0x8000000, MaskBase: 0xf000000,
+				Fused: thB%2 == 0, Sched: omp.StaticBlock{}, Sweeps: 1 + int(thB%2),
+			}
+			return spec.Program(threads).Gens[int(jB)%threads]
+		}
+		return iterSkipEquivalence(t, mk(), mk(), int(jB%80), int(fracB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -96,6 +96,21 @@ func (l Layout) VStride(p int) int {
 	panic(fmt.Sprintf("lbm: unknown layout %d", int(l)))
 }
 
+// RowStride returns the element distance between the same (v, x) position
+// of two consecutive x-rows (y and y+1) — the per-row advance every one of
+// the layout's streams shares, and the pitch of the row-granular fluid-cell
+// mask. It is the byte stride (times the word size) by which a whole outer
+// iteration of the trace generator translates.
+func (l Layout) RowStride(p int) int {
+	switch l {
+	case IJKv:
+		return p
+	case IvJK:
+		return Q * p
+	}
+	panic(fmt.Sprintf("lbm: unknown layout %d", int(l)))
+}
+
 // Size returns the element count of one toggle grid.
 func (l Layout) Size(p int) int { return Q * p * p * p }
 
