@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet build test test-race test-full bench bench-smoke bench-diff figures clean
+.PHONY: ci fmt vet build test test-race test-faults test-full bench bench-smoke bench-diff figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -31,6 +31,14 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
+# test-faults compiles the deterministic fault-injection hooks in
+# (-tags faultinject) and runs the fast tier under the race detector:
+# every recovery path — worker panic, forced fast-forward decline,
+# stalled shard, step-budget cancel — executes with real goroutine
+# interleavings instead of staying dead code behind the build tag.
+test-faults:
+	$(GO) test -race -short -tags faultinject ./...
+
 # test-full runs every shape check at Small() scale (about a minute of
 # simulated sweeps on one core).
 test-full:
@@ -50,7 +58,11 @@ bench:
 # growth in allocs/op fails, with a per-benchmark delta table on failure.
 # CI runs it as a blocking step — the committed baseline plus benchdiff's
 # added/removed tolerance make it safe to gate on; the 20% budget absorbs
-# shared-runner noise.
+# shared-runner noise. BenchmarkResilience is deliberately not in the
+# pattern: its allocation counts depend on where in the sweep the
+# injected cancel lands, so gating it would be flaky — it still records
+# its robustness metrics in BENCH_perf.json via `make bench`, where the
+# added/removed tolerance keeps the asymmetry harmless.
 bench-diff:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_perf.fresh.json

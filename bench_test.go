@@ -1,7 +1,11 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bench"
@@ -13,6 +17,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/segarray"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // The benchmarks regenerate each figure of the paper at test scale and
@@ -36,12 +41,27 @@ type simTotals struct {
 	width     int64
 	epochs    int64
 	stalls    int64
+
+	// Robustness telemetry (exp.Outcome's resilience counters plus directly
+	// observed watchdog trips). Zero on every fault-free sweep, so the
+	// figure benchmarks report nothing new; only BenchmarkResilience, which
+	// provokes the recovery paths on purpose, populates these.
+	retries       int64
+	pointErrors   int64
+	watchdogTrips int64
+	cancelMS      float64
 }
 
 // run executes the experiment, folds its telemetry into the totals, and
 // returns the sweep's series.
 func (st *simTotals) run(e exp.Experiment) []stats.Series {
 	out := exp.MustRun(e)
+	st.fold(out)
+	return out.Series()
+}
+
+// fold accumulates one outcome's telemetry, fault-free or not.
+func (st *simTotals) fold(out exp.Outcome) {
 	c, a := out.Totals()
 	_, fc := out.FastForwardTotals()
 	fj, fs := out.FastForwardJumpTotals()
@@ -59,7 +79,12 @@ func (st *simTotals) run(e exp.Experiment) []stats.Series {
 	}
 	st.epochs += ep
 	st.stalls += bs
-	return out.Series()
+	st.retries += out.Retries
+	st.pointErrors += out.PointErrors
+	st.watchdogTrips += out.WatchdogTrips
+	if out.CancelLatencyMS > st.cancelMS {
+		st.cancelMS = out.CancelLatencyMS
+	}
 }
 
 func (st *simTotals) report(b *testing.B) {
@@ -85,6 +110,15 @@ func (st *simTotals) report(b *testing.B) {
 		b.ReportMetric(float64(st.shards), "shards")
 		b.ReportMetric(float64(st.width), "epoch-width")
 		b.ReportMetric(float64(st.stalls)/secs, "barrier-stalls/s")
+	}
+	if st.retries > 0 || st.pointErrors > 0 || st.watchdogTrips > 0 || st.cancelMS > 0 {
+		// Robustness telemetry, per iteration (deterministic counts): how
+		// much recovery machinery the sweep actually exercised. Fault-free
+		// sweeps report none of this, keeping their metric sets unchanged.
+		b.ReportMetric(float64(st.retries)/float64(b.N), "retries")
+		b.ReportMetric(float64(st.pointErrors)/float64(b.N), "point-errors")
+		b.ReportMetric(float64(st.watchdogTrips)/float64(b.N), "watchdog-trips")
+		b.ReportMetric(st.cancelMS, "cancel-latency-ms")
 	}
 }
 
@@ -198,6 +232,134 @@ func BenchmarkFig7LBM(b *testing.B) {
 				b.ReportMetric(sm.Min, "thrash-MLUPs")
 			}
 		}
+	}
+	st.report(b)
+}
+
+// ---- resilience ---------------------------------------------------------------
+
+// benchWedge wraps one generator of an otherwise healthy program and
+// sleeps once mid-stream, wedging that strand's shard long enough for the
+// epoch-barrier watchdog to trip.
+type benchWedge struct {
+	inner trace.Generator
+	calls int
+	slept bool
+	dur   time.Duration
+}
+
+func (g *benchWedge) Next(it *trace.Item) bool {
+	g.calls++
+	if !g.slept && g.calls > 50 {
+		g.slept = true
+		time.Sleep(g.dur)
+	}
+	return g.inner.Next(it)
+}
+
+// BenchmarkResilience drives all four recovery paths of the resilient
+// execution layer on purpose — transient point failures absorbed by the
+// retry budget, a panicking point isolated into a structured PointError, a
+// sweep cancelled mid-run with partial telemetry, and a wedged shard
+// converted into a watchdog trip — and reports the robustness telemetry
+// (retries, point-errors, watchdog-trips, cancel-latency-ms) that stays
+// zero for every other benchmark in this file.
+func BenchmarkResilience(b *testing.B) {
+	base := machine.MustGet("t2").Config
+	kernelExp := func(name string) exp.Experiment {
+		return exp.Experiment{
+			Name: name,
+			Cfg:  base,
+			Grid: exp.Grid{exp.Ints("x", 0, 1, 2, 3, 4, 5, 6, 7)},
+			Run: func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
+				_, k := triadProg(int64(p.Int("x")), 1)
+				prog := k.Program(omp.StaticBlock{}, 16)
+				prog.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+				r, err := chip.New(cfg).RunCtx(sc.Context(), prog)
+				if err != nil {
+					return exp.Result{}, err
+				}
+				res := exp.Result{Series: "triad", X: float64(p.Int("x")), Y: r.GBps}
+				res.Cycles = r.Cycles
+				res.Accesses = r.L2.Hits + r.L2.Misses
+				return res, nil
+			},
+		}
+	}
+	var st simTotals
+	for i := 0; i < b.N; i++ {
+		// Transient failures and one persistent panic: the retry budget
+		// recovers the former, the latter surfaces as a PointError without
+		// killing the pool.
+		var mu sync.Mutex
+		tried := map[int]bool{}
+		e := kernelExp("resilience/retry")
+		inner := e.Run
+		e.Run = func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
+			mu.Lock()
+			first := !tried[p.Index]
+			tried[p.Index] = true
+			mu.Unlock()
+			if first && p.Index%3 == 0 {
+				return exp.Result{}, errors.New("transient benchmark fault")
+			}
+			if p.Index == 5 {
+				panic("injected benchmark panic")
+			}
+			return inner(cfg, p, sc)
+		}
+		out, err := exp.Runner{Jobs: 2, Retries: 1}.Run(e)
+		var pe *exp.PointError
+		if !errors.As(err, &pe) || out.Retries == 0 {
+			b.Fatalf("retry/panic sweep: err=%v retries=%d, want a PointError and recovered retries", err, out.Retries)
+		}
+		st.fold(out)
+
+		// Cancellation mid-sweep: the plug is pulled while the second point
+		// is inside the engine, so that run aborts cooperatively with a
+		// CancelError whose halt latency flows into the outcome.
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{})
+		var once sync.Once
+		go func() { <-started; cancel() }()
+		e2 := kernelExp("resilience/cancel")
+		inner2 := e2.Run
+		e2.Run = func(cfg chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
+			if p.Index == 0 {
+				return inner2(cfg, p, sc)
+			}
+			// Later points run a long, event-by-event simulation (no
+			// fast-forward) so the cancellation provably lands mid-run.
+			once.Do(func() { close(started) })
+			cfg.DisableFastForward = true
+			_, k := triadProg(int64(p.Int("x")), 8)
+			prog := k.Program(omp.StaticBlock{}, 64)
+			prog.WarmLines = cfg.L2.SizeBytes / phys.LineSize
+			r, err := chip.New(cfg).RunCtx(sc.Context(), prog)
+			if err != nil {
+				return exp.Result{}, err
+			}
+			return exp.Result{Series: "triad", X: float64(p.Int("x")), Y: r.GBps}, nil
+		}
+		out2, err := exp.Runner{Jobs: 1}.RunContext(ctx, e2)
+		cancel()
+		if err == nil || !out2.Cancelled {
+			b.Fatalf("cancelled sweep: err=%v cancelled=%v, want an aborted partial outcome", err, out2.Cancelled)
+		}
+		st.fold(out2)
+
+		// Wedged shard: one strand sleeps mid-epoch; the barrier watchdog
+		// converts the former infinite spin into a structured WatchdogError.
+		_, k := triadProg(0, 1)
+		prog := k.Program(omp.StaticBlock{}, 16)
+		prog.Gens[0] = &benchWedge{inner: prog.Gens[0], dur: 200 * time.Millisecond}
+		_, err = chip.New(base).RunShardedCtx(context.Background(), prog,
+			chip.ShardOptions{Workers: 2, Watchdog: 25 * time.Millisecond})
+		var we *chip.WatchdogError
+		if !errors.As(err, &we) {
+			b.Fatalf("wedged sharded run returned %v, want a WatchdogError", err)
+		}
+		st.watchdogTrips++
 	}
 	st.report(b)
 }

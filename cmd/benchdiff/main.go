@@ -25,13 +25,20 @@
 // benchmark (a newly reported unit, a retired one). On failure the tool
 // prints a per-benchmark delta table of every gated metric so the
 // regression is locatable without re-running anything.
+//
+// Exit codes separate the failure classes so CI can react differently
+// to each: 0 clean, 1 gated regression, 2 flag misuse, 3 a trajectory
+// file is missing (run `make bench` to generate it), 4 a trajectory
+// file exists but is corrupt or carries no benchmarks.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sort"
 )
@@ -53,6 +60,17 @@ func load(path string) (doc, error) {
 		return d, fmt.Errorf("%s: no benchmarks", path)
 	}
 	return d, nil
+}
+
+// loadExitCode maps a load failure onto the CLI's exit-code contract: a
+// missing trajectory file is 3 (nothing was ever generated — the fix is
+// `make bench`, not a revert), anything else — unreadable, unparseable,
+// or an empty benchmark table — is 4 (the file exists but is corrupt).
+func loadExitCode(err error) int {
+	if errors.Is(err, fs.ErrNotExist) {
+		return 3
+	}
+	return 4
 }
 
 // row is one benchmark's gated-metric comparison, kept for the failure
@@ -227,12 +245,12 @@ func main() {
 	bd, err := load(*base)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		os.Exit(loadExitCode(err))
 	}
 	fd, err := load(*fresh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		os.Exit(loadExitCode(err))
 	}
 
 	if compare(bd, fd, *maxDrop, *maxAllocGrowth, *maxFFDrop, os.Stdout) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,6 +13,59 @@ func bm(metrics ...map[string]float64) doc {
 		d.Benchmarks[[]string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}[i]] = m
 	}
 	return d
+}
+
+// TestLoadExitCodes pins the exit-code contract for trajectory-load
+// failures: a missing file is exit 3 (generate it), a corrupt or empty
+// one is exit 4 (repair it), and both error messages carry the path so
+// the one-line stderr report is actionable on its own.
+func TestLoadExitCodes(t *testing.T) {
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "BENCH_perf.json")
+	if _, err := load(missing); err == nil {
+		t.Fatal("load of a missing file succeeded")
+	} else {
+		if got := loadExitCode(err); got != 3 {
+			t.Errorf("missing file: exit code %d, want 3", got)
+		}
+		if !strings.Contains(err.Error(), missing) {
+			t.Errorf("missing-file error %q does not name the path", err)
+		}
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"benchmarks": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(corrupt); err == nil {
+		t.Fatal("load of corrupt JSON succeeded")
+	} else {
+		if got := loadExitCode(err); got != 4 {
+			t.Errorf("corrupt file: exit code %d, want 4", got)
+		}
+		if !strings.Contains(err.Error(), corrupt) {
+			t.Errorf("corrupt-file error %q does not name the path", err)
+		}
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); err == nil {
+		t.Fatal("load of an empty trajectory succeeded")
+	} else if got := loadExitCode(err); got != 4 {
+		t.Errorf("empty trajectory: exit code %d, want 4", got)
+	}
+
+	ok := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(ok, []byte(`{"benchmarks": {"BenchmarkA": {"accesses/s": 1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(ok); err != nil {
+		t.Fatalf("load of a valid trajectory failed: %v", err)
+	}
 }
 
 func TestCompareOK(t *testing.T) {

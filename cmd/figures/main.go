@@ -12,9 +12,14 @@
 // Usage:
 //
 //	figures [-fig all|2|4|5|6|7|scaling|comma-list] [-scale full|small]
-//	        [-machine NAME] [-jobs N] [-shards N] [-json=false] [-out DIR]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-machine NAME] [-jobs N] [-shards N] [-timeout DUR]
+//	        [-json=false] [-out DIR] [-cpuprofile FILE] [-memprofile FILE]
 //	figures -list
+//
+// -timeout bounds the whole regeneration by wall-clock time: on expiry
+// every in-flight simulation aborts cooperatively, no partial figure files
+// are written, and the exit code is 3 (distinct from shape-check failures,
+// which exit 1).
 //
 // -shards runs every point on the chip's controller-domain sharded engine
 // (N intra-run workers at most, -1 for auto); the worker count shares the
@@ -33,6 +38,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chip"
 	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/profiling"
@@ -58,6 +66,7 @@ func main() {
 	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
 	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
 	list := flag.Bool("list", false, "print the figure and machine-profile registries and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole regeneration; on expiry in-flight runs abort cooperatively and the exit code is 3 (0: no deadline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweeps) to this file")
 	flag.Parse()
@@ -91,9 +100,24 @@ func main() {
 		fail(2)
 	}
 	o = o.WithProfile(prof)
+	// An explicit -shards beyond the selected machine's controller-domain
+	// count cannot buy anything (the domain is the unit of decomposition);
+	// reject it up front instead of silently running degraded for hours.
+	if d := prof.Config.Mapping.Controllers(); *shards > d {
+		fmt.Fprintf(os.Stderr, "figures: %v: -shards %d, machine %s has %d controller domains\n",
+			chip.ErrShardOversubscribed, *shards, prof.Name, d)
+		fail(2)
+	}
 	// Run-level and sweep-level parallelism share the core budget: with J
 	// sweep jobs each sharded run gets GOMAXPROCS/J workers at most.
 	o.Shards = exp.ShardBudget(*shards, *jobs)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		printRegistries(o)
@@ -137,9 +161,14 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		outcome, err := runner.Run(f.Exp)
+		outcome, err := runner.RunContext(ctx, f.Exp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.Name, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "figures: timeout (-timeout %s) — %d of the figure's points completed before the abort\n",
+					*timeout, len(outcome.Points))
+				fail(3)
+			}
 			fail(1)
 		}
 		elapsed := time.Since(start)
@@ -152,6 +181,10 @@ func main() {
 			}
 			fmt.Printf("   sharded engine: %d domains, %d run workers, %d epochs, %.0f barrier-stalls/s\n",
 				sh, workers, ep, float64(st)/elapsed.Seconds())
+		}
+		if outcome.Retries > 0 || outcome.PointErrors > 0 {
+			fmt.Printf("   resilience: %d retries, %d point errors, %d watchdog trips\n",
+				outcome.Retries, outcome.PointErrors, outcome.WatchdogTrips)
 		}
 		series := outcome.Series()
 

@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -121,12 +123,19 @@ func main() {
 		step := fs.Int64("step", 2, "offset step (words)")
 		jobs := fs.Int("jobs", 0, "worker goroutines (<=0: GOMAXPROCS)")
 		jsonOut := fs.String("json", "", "write the JSON trajectory to this file ('-' for stdout)")
+		timeout := fs.Duration("timeout", 0, "wall-clock budget for the sweep; on expiry it aborts cooperatively and the exit code is 3 (0: no deadline)")
 		mn := machineFlag(fs)
 		fs.Parse(os.Args[2:])
 		ms := specFor(*mn)
 		if *step <= 0 || *max < 0 {
 			fmt.Fprintln(os.Stderr, "placement: sweep needs -step > 0 and -max >= 0")
 			os.Exit(2)
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
 		}
 
 		e := exp.Experiment{
@@ -154,9 +163,12 @@ func main() {
 				}, nil
 			},
 		}
-		out, err := exp.Runner{Jobs: *jobs}.Run(e)
+		out, err := exp.Runner{Jobs: *jobs}.RunContext(ctx, e)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("%8s %10s %12s\n", "offset", "predicted", "controllers")

@@ -25,6 +25,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -80,6 +82,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker goroutines for -sweep (<=0: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "run on the controller-domain sharded engine with up to N workers (0: sequential engine, -1: auto); results are invariant under N")
 	jsonOut := flag.String("json", "", "with -sweep: write the JSON trajectory to this file ('-' for stdout)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run or sweep; on expiry the simulation aborts cooperatively and the exit code is 3 (0: no deadline)")
 	flag.Parse()
 
 	prof, err := machine.Get(*machineName)
@@ -90,11 +93,32 @@ func main() {
 	cfg.MSHRPerStrand = *msar
 	cfg.RunAhead = *runAhead
 
+	// An explicit -shards beyond the machine's controller-domain count is a
+	// misconfiguration, not a bigger budget; reject it before simulating.
+	if d := cfg.Mapping.Controllers(); *shards > d {
+		fail("%v: -shards %d, machine %q has %d controller domains",
+			chip.ErrShardOversubscribed, *shards, prof.Name, d)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *sweep == "" {
-		runSingle(prof, cfg, p, exp.ShardBudget(*shards, 1))
+		runSingle(ctx, prof, cfg, p, exp.ShardBudget(*shards, 1))
 		return
 	}
-	runSweep(prof, cfg, p, *sweep, *jobs, exp.ShardBudget(*shards, *jobs), *jsonOut)
+	runSweep(ctx, prof, cfg, p, *sweep, *jobs, exp.ShardBudget(*shards, *jobs), *jsonOut)
+}
+
+// failTimeout reports a run cut short by -timeout; exit code 3 separates
+// "ran out of budget" from flag misuse (2) and harness errors.
+func failTimeout(err error) {
+	fmt.Fprintf(os.Stderr, "t2sim: %v\n", err)
+	os.Exit(3)
 }
 
 // schedule resolves the schedule name; jacobi -opt forces static1 as the
@@ -194,7 +218,7 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 }
 
 // runSingle simulates one point and prints the detailed report.
-func runSingle(prof machine.Profile, cfg chip.Config, p params, shardWorkers int) {
+func runSingle(ctx context.Context, prof machine.Profile, cfg chip.Config, p params, shardWorkers int) {
 	prog, err := p.build(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -202,9 +226,16 @@ func runSingle(prof machine.Profile, cfg chip.Config, p params, shardWorkers int
 	m := chip.New(cfg)
 	var r chip.Result
 	if shardWorkers != 0 {
-		r = m.RunSharded(prog, shardWorkers)
+		r, err = m.RunShardedCtx(ctx, prog, chip.ShardOptions{Workers: shardWorkers})
 	} else {
-		r = m.Run(prog)
+		r, err = m.RunCtx(ctx, prog)
+	}
+	if err != nil {
+		var ce *chip.CancelError
+		if errors.As(err, &ce) {
+			failTimeout(err)
+		}
+		fail("%v", err)
 	}
 
 	fmt.Printf("machine:   %s (%s)\n", prof.Name, prof.Doc)
@@ -259,7 +290,7 @@ func parseSweep(spec string) (axis string, lo, hi, step int64, err error) {
 
 // runSweep fans the one-axis sweep out over the worker pool and prints a
 // table plus the optional JSON trajectory.
-func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, jobs, shardWorkers int, jsonOut string) {
+func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base params, spec string, jobs, shardWorkers int, jsonOut string) {
 	axis, lo, hi, step, err := parseSweep(spec)
 	if err != nil {
 		fail("%v", err)
@@ -295,9 +326,12 @@ func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, j
 			}
 			var r chip.Result
 			if shardWorkers != 0 {
-				r = chip.New(cfg).RunSharded(prog, shardWorkers)
+				r, err = chip.New(cfg).RunShardedCtx(sc.Context(), prog, chip.ShardOptions{Workers: shardWorkers})
 			} else {
-				r = chip.New(cfg).Run(prog)
+				r, err = chip.New(cfg).RunCtx(sc.Context(), prog)
+			}
+			if err != nil {
+				return exp.Result{}, err
 			}
 			return exp.Result{
 				Series: fmt.Sprintf("%s/%dT", p.kernel, p.threads),
@@ -311,8 +345,11 @@ func runSweep(prof machine.Profile, cfg chip.Config, base params, spec string, j
 			}, nil
 		},
 	}
-	out, err := exp.Runner{Jobs: jobs}.Run(e)
+	out, err := exp.Runner{Jobs: jobs}.RunContext(ctx, e)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			failTimeout(err)
+		}
 		fail("%v", err)
 	}
 

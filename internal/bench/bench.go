@@ -14,6 +14,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/chip"
@@ -47,8 +48,15 @@ type Options struct {
 	// (the engine's core contract, pinned by the shard determinism tests),
 	// so Shards=1 and Shards=N trajectories are byte-identical too; CLIs
 	// resolve the actual budget through exp.ShardBudget so sweep jobs and
-	// run workers share the cores.
+	// run workers share the cores. Shards is a budget, not a demand: values
+	// above the profile's controller-domain count are capped per machine.
 	Shards int
+	// Watchdog arms the sharded engine's epoch-barrier watchdog for every
+	// sharded run of the sweep: a run making no epoch progress for this
+	// long fails with a chip.WatchdogError instead of spinning forever. 0
+	// (the default) disables it, keeping the fault-free hot path — and
+	// every trajectory — untouched.
+	Watchdog time.Duration
 
 	// Fig. 2
 	StreamN      int64
@@ -164,14 +172,21 @@ func machineFor(sc *exp.Scratch, cfg chip.Config) *chip.Machine {
 
 // runProg runs one program on the worker's cached machine for the point's
 // configuration; every experiment closure funnels through it, and the
-// options' Shards setting decides which engine executes it.
-func (o Options) runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, warm int64) chip.Result {
+// options' Shards setting decides which engine executes it. The sweep's
+// context (exp.Scratch.Context) rides along so a cancelled or timed-out
+// sweep aborts each in-flight run cooperatively; with a background context
+// and no watchdog this is exactly the legacy fault-free path.
+func (o Options) runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, warm int64) (chip.Result, error) {
 	p.WarmLines = warm
 	m := machineFor(sc, cfg)
 	if o.Shards != 0 {
-		return m.RunSharded(p, o.Shards)
+		workers := o.Shards
+		if d := cfg.Mapping.Controllers(); workers > d {
+			workers = d // Shards is a core budget; each machine caps at its domains
+		}
+		return m.RunShardedCtx(sc.Context(), p, chip.ShardOptions{Workers: workers, Watchdog: o.Watchdog})
 	}
-	return m.Run(p)
+	return m.RunCtx(sc.Context(), p)
 }
 
 // bwMetrics exposes the secondary metrics every bandwidth trajectory
@@ -247,7 +262,10 @@ func (o Options) Fig2Exp() exp.Experiment {
 			}
 			th := p.Int("threads")
 			off := p.Int64("offset")
-			r := o.runProg(cfg, sc, o.streamProg(sc, kind, off, th), o.warmLines())
+			r, err := o.runProg(cfg, sc, o.streamProg(sc, kind, off, th), o.warmLines())
+			if err != nil {
+				return exp.Result{}, err
+			}
 			return measured(exp.Result{
 				Series:  fmt.Sprintf("%s/%dT", p.Str("kernel"), th),
 				X:       float64(off),
@@ -372,7 +390,10 @@ func (o Options) Fig4Exp() exp.Experiment {
 					series = fmt.Sprintf("align8k+%d", off)
 				}
 			}
-			r := o.runProg(cfg, sc, prog, o.warmLines())
+			r, err := o.runProg(cfg, sc, prog, o.warmLines())
+			if err != nil {
+				return exp.Result{}, err
+			}
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -431,7 +452,10 @@ func (o Options) Fig5Exp(threads int) exp.Experiment {
 				prog = k.Program(omp.StaticBlock{}, threads)
 				series = fmt.Sprintf("%dT non-segmented", threads)
 			}
-			r := o.runProg(cfg, sc, prog, o.warmLines())
+			r, err := o.runProg(cfg, sc, prog, o.warmLines())
+			if err != nil {
+				return exp.Result{}, err
+			}
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.GBps, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -508,7 +532,10 @@ func (o Options) Fig6Exp() exp.Experiment {
 				spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
 				series = fmt.Sprintf("%dT", th)
 			}
-			r := o.runProg(cfg, sc, spec.Program(th), o.warmLines())
+			r, err := o.runProg(cfg, sc, spec.Program(th), o.warmLines())
+			if err != nil {
+				return exp.Result{}, err
+			}
 			return measured(exp.Result{Series: series, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}
@@ -575,7 +602,10 @@ func (o Options) Fig7Exp() exp.Experiment {
 				MaskBase: sp.Malloc(lbm.MaskBytes(n, v.layout)),
 				Fused:    v.fused, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
 			}
-			r := o.runProg(cfg, sc, spec.Program(v.threads), o.warmLines())
+			r, err := o.runProg(cfg, sc, spec.Program(v.threads), o.warmLines())
+			if err != nil {
+				return exp.Result{}, err
+			}
 			return measured(exp.Result{Series: name, X: float64(n), Y: r.MUPs, Metrics: bwMetrics(r)}, r), nil
 		},
 	}

@@ -100,7 +100,10 @@ func (o Options) ScalingExp() exp.Experiment {
 
 			k := kernels.LoadSum(bases, n)
 			prog := k.Program(omp.StaticBlock{}, threads)
-			r := o.runProg(prof.Config, sc, prog, prof.Config.L2.SizeBytes/phys.LineSize)
+			r, err := o.runProg(prof.Config, sc, prog, prof.Config.L2.SizeBytes/phys.LineSize)
+			if err != nil {
+				return exp.Result{}, err
+			}
 			m := bwMetrics(r)
 			m["predicted"] = pred
 			m["controllers"] = float64(ms.Mapping.Controllers())

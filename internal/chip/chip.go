@@ -28,6 +28,7 @@
 package chip
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -544,8 +545,28 @@ func (m *Machine) warmL2(l2 *cache.Banked, warmLines int64) {
 	m.warmLines = warmLines
 }
 
-// Run executes prog to completion and reports aggregate performance.
+// Run executes prog to completion and reports aggregate performance. It is
+// RunCtx without a cancellation source; since a background run cannot be
+// cancelled, it cannot fail.
 func (m *Machine) Run(prog *trace.Program) Result {
+	res, err := m.RunCtx(context.Background(), prog)
+	if err != nil {
+		// Only reachable under fault injection (an armed step budget): the
+		// caller asked for the uncancellable API, so a forced halt is a
+		// harness bug here.
+		panic(fmt.Sprintf("chip: uncancellable Run aborted: %v", err))
+	}
+	return res
+}
+
+// RunCtx executes prog to completion, or until ctx is cancelled. On
+// cancellation it returns the partial Result accumulated so far together
+// with a *CancelError carrying the cancellation cause and the observed
+// cancel→halt latency; the partial Result is accounting-grade telemetry
+// only and must never enter a trajectory. A context that can never be
+// cancelled costs nothing: the engine's stop flag stays nil and the run
+// takes the exact fault-free path.
+func (m *Machine) RunCtx(ctx context.Context, prog *trace.Program) (Result, error) {
 	m.validateTeam(prog)
 	n := len(prog.Gens)
 	rs := m.rs
@@ -613,9 +634,20 @@ func (m *Machine) Run(prog *trace.Program) Result {
 	}
 	rs.ffReset()
 	rs.ffInit(prog)
+	cw := armCancel(ctx, &rs.eng)
 	rs.eng.Run()
 	rs.ffDisarm()
-	if rs.running != 0 {
+	var cancelErr *CancelError
+	if rs.eng.Interrupted() {
+		cancelErr = cw.abortError(ctx)
+		// The abort point is wherever the event loop happened to be; count
+		// the clock actually reached so the partial telemetry has a horizon.
+		if rs.eng.Now() > rs.finish {
+			rs.finish = rs.eng.Now()
+		}
+	}
+	cw.done()
+	if cancelErr == nil && rs.running != 0 {
 		panic("chip: deadlock — strands left running with no events")
 	}
 
@@ -656,5 +688,8 @@ func (m *Machine) Run(prog *trace.Program) Result {
 	res.GBps = float64(rs.repBytes) / secs / 1e9
 	res.ActualGBps = float64(lines*m.cfg.L2.LineSize) / secs / 1e9
 	res.MUPs = float64(rs.units) / secs / 1e6
-	return res
+	if cancelErr != nil {
+		return res, cancelErr
+	}
+	return res, nil
 }

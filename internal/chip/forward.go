@@ -59,6 +59,7 @@ package chip
 
 import (
 	"repro/internal/cache"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -1379,6 +1380,12 @@ replay:
 			ok = false
 		}
 	}
+	// Fault injection (no-op unless built and armed): veto the validated
+	// jump so the rollback below runs under test, proving a declined jump
+	// is invisible in the results.
+	if ok && faults.FFDecline() {
+		ok = false
+	}
 	if !ok {
 		// Restore the tag store and re-impose the pre-replay counters; the
 		// run continues as if the jump had never been attempted.
@@ -1437,6 +1444,11 @@ replay:
 			post.Writebacks != pre.Writebacks+k*d.l2.Writebacks {
 			ok = false
 		}
+	}
+	// Fault injection (no-op unless built and armed): exercise the
+	// iteration-mode rollback exactly like the item-mode one.
+	if ok && faults.FFDecline() {
+		ok = false
 	}
 	if !ok {
 		rs.l2.Restore(&ff.rollback)

@@ -78,13 +78,16 @@
 package chip
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -189,6 +192,19 @@ type pshard struct {
 	retries      int64
 	finish       sim.Time
 	idleEpochs   int64 // epochs this shard executed no event (barrier stalls)
+	epochsRun    int64 // epochs this shard has executed (watchdog/fault bookkeeping)
+
+	// diag is the shard's progress snapshot, published (atomically, once
+	// per epoch, only on armed runs) for the watchdog's diagnostics: a
+	// tripped run reports each shard's last known epoch, wheel depth,
+	// undelivered mail and barrier stalls without touching shard-owned
+	// state from another goroutine.
+	diag struct {
+		epoch   atomic.Int64
+		pending atomic.Int64
+		mailbox atomic.Int64
+		stalls  atomic.Int64
+	}
 }
 
 // parState is the sharded engine's run state, cached on the Machine like
@@ -212,7 +228,26 @@ type parState struct {
 	epochs   int64
 	gen      int // mailbox generation being produced this epoch
 	done     bool
+
+	// Abort protocol (armed runs only — see RunShardedCtx). abort makes a
+	// single transition away from abortNone, set by the monitor goroutine;
+	// workers poll it at the top of every epoch and the barrier polls it on
+	// its spin slow path, so every non-wedged worker exits within one
+	// epoch. armed additionally enables the per-shard diag publication;
+	// fault-free runs leave it false and pay one predictable atomic load
+	// per worker per epoch.
+	abort    atomic.Int32
+	armed    bool
+	progress atomic.Int64 // merged epoch count, stored by the leader each merge
+	wderr    atomic.Pointer[WatchdogError]
 }
+
+// abort states.
+const (
+	abortNone int32 = iota
+	abortCancel
+	abortWatchdog
+)
 
 // shardable reports whether the mapping's bank->controller relation is a
 // function, i.e. every address of a bank is served by one controller —
@@ -278,19 +313,79 @@ func (m *Machine) Shardable(prog *trace.Program) bool {
 // BarrierStalls. Runs the engine cannot decompose (see Shardable) fall
 // back to the sequential engine and report Shards == 0.
 func (m *Machine) RunSharded(prog *trace.Program, workers int) Result {
+	if d := m.cfg.Mapping.Controllers(); workers > d {
+		workers = d // legacy behavior: cap silently; RunShardedCtx validates
+	}
+	res, err := m.RunShardedCtx(context.Background(), prog, ShardOptions{Workers: workers})
+	if err != nil {
+		// Only reachable under fault injection: a background context never
+		// cancels and no watchdog is armed here.
+		panic(fmt.Sprintf("chip: uncancellable RunSharded aborted: %v", err))
+	}
+	return res
+}
+
+// RunShardedCtx is RunSharded with a resilience envelope: the run aborts
+// cleanly when ctx is cancelled (returning the partial Result and a
+// *CancelError), an explicit worker request above the controller-domain
+// count is rejected up front with ErrShardOversubscribed instead of being
+// silently capped, and a positive opt.Watchdog arms the epoch-barrier
+// watchdog — if no shard completes an epoch for that long, the run fails
+// with a *WatchdogError carrying per-shard diagnostics instead of spinning
+// at the barrier forever. After a watchdog trip the machine's sharded run
+// state is discarded (the wedged goroutine may still hold it), so the
+// machine stays reusable; the wedged goroutine itself exits the moment it
+// wakes and observes the abort. Runs the engine cannot decompose fall back
+// to the sequential engine under the same context.
+func (m *Machine) RunShardedCtx(ctx context.Context, prog *trace.Program, opt ShardOptions) (Result, error) {
+	if d := m.cfg.Mapping.Controllers(); opt.Workers > d {
+		return Result{}, fmt.Errorf("%w: %d workers requested, %d controller domains (machine %dc%dt)",
+			ErrShardOversubscribed, opt.Workers, d, m.cfg.Cores, m.cfg.StrandsPerCore)
+	}
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: refuse deterministically instead of racing the
+		// monitor goroutine's first scheduling slice against a short run.
+		return Result{}, &CancelError{Cause: context.Cause(ctx)}
+	}
 	if !m.Shardable(prog) {
-		return m.Run(prog)
+		return m.RunCtx(ctx, prog)
 	}
 	m.validateTeam(prog)
 	ps := m.preparePar(prog)
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(ps.shards) {
 		workers = len(ps.shards)
 	}
+	ps.armed = ctx.Done() != nil || opt.Watchdog > 0
+	var firedAt atomic.Int64
+	var quit chan struct{}
+	if ps.armed {
+		quit = make(chan struct{})
+		go ps.monitor(ctx, opt.Watchdog, quit, &firedAt)
+	}
 	ps.run(workers)
-	return ps.collect(m.cfg, prog)
+	if quit != nil {
+		close(quit) // a no-op for the monitor if it already aborted and exited
+	}
+	switch ps.abort.Load() {
+	case abortWatchdog:
+		// The wedged worker may wake later and touch this state; abandon it
+		// rather than reuse it. No partial Result: unlike a cancel, nothing
+		// waited for the workers, so their state may still be in motion.
+		m.pps = nil
+		return Result{}, ps.wderr.Load()
+	case abortCancel:
+		res := ps.collect(m.cfg, prog)
+		var lat time.Duration
+		if at := firedAt.Load(); at != 0 {
+			lat = time.Since(time.Unix(0, at))
+		}
+		return res, &CancelError{Cause: context.Cause(ctx), Latency: lat}
+	}
+	return ps.collect(m.cfg, prog), nil
 }
 
 // preparePar builds or resets the sharded run state and seeds the strands.
@@ -354,6 +449,17 @@ func (m *Machine) preparePar(prog *trace.Program) *parState {
 	ps.epochs = 0
 	ps.gen = 0
 	ps.done = false
+	ps.abort.Store(abortNone)
+	ps.armed = false
+	ps.progress.Store(0)
+	ps.wderr.Store(nil)
+	for _, sh := range ps.shards {
+		sh.epochsRun = 0
+		sh.diag.epoch.Store(0)
+		sh.diag.pending.Store(0)
+		sh.diag.mailbox.Store(0)
+		sh.diag.stalls.Store(0)
+	}
 
 	m.warmL2(ps.l2, prog.WarmLines)
 
@@ -454,7 +560,7 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 // same per-shard order, which is the byte-identity argument.
 func (ps *parState) run(workers int) {
 	if workers <= 1 {
-		for !ps.done {
+		for !ps.done && ps.abort.Load() == abortNone {
 			for _, sh := range ps.shards {
 				sh.deliver()
 				sh.runEpoch()
@@ -473,24 +579,42 @@ func (ps *parState) run(workers int) {
 		}(w)
 	}
 	ps.workerLoop(0, workers, bar)
+	if ps.abort.Load() == abortWatchdog {
+		// A watchdog trip means at least one worker is wedged mid-epoch and
+		// may block indefinitely; waiting for it would reintroduce the hang
+		// the watchdog exists to break. The workers' shard state is
+		// abandoned by the caller (RunShardedCtx drops the parState), and
+		// each worker exits at its next abort poll.
+		return
+	}
 	wg.Wait()
 }
 
 // workerLoop is one worker's half of the barrier protocol. Worker 0 is the
-// leader and performs the serial merge between the two barriers.
+// leader and performs the serial merge between the two barriers. Any abort
+// observed — at the epoch boundary or inside a barrier spin — exits the
+// loop; the barrier cannot be re-entered after an abort, which is safe
+// because every worker is on its way out too.
 func (ps *parState) workerLoop(w, workers int, bar *spinBarrier) {
 	var sense uint32
 	for {
+		if ps.abort.Load() != abortNone {
+			return
+		}
 		for i := w; i < len(ps.shards); i += workers {
 			sh := ps.shards[i]
 			sh.deliver()
 			sh.runEpoch()
 		}
-		bar.wait(&sense)
+		if !bar.wait(&sense, &ps.abort) {
+			return
+		}
 		if w == 0 {
 			ps.merge()
 		}
-		bar.wait(&sense)
+		if !bar.wait(&sense, &ps.abort) {
+			return
+		}
 		if ps.done {
 			return
 		}
@@ -499,11 +623,80 @@ func (ps *parState) workerLoop(w, workers int, bar *spinBarrier) {
 
 // runEpoch advances this shard's wheel to the end of the current epoch.
 func (sh *pshard) runEpoch() {
+	faults.ShardStall(int(sh.id), sh.epochsRun) // no-op unless injecting
 	steps := sh.eng.Steps()
 	sh.eng.RunUntil(sh.ps.epochEnd - 1)
 	if sh.eng.Steps() == steps {
 		sh.idleEpochs++
 	}
+	sh.epochsRun++
+	if sh.ps.armed {
+		sh.diag.epoch.Store(sh.epochsRun)
+		sh.diag.pending.Store(int64(sh.eng.Pending()))
+		sh.diag.mailbox.Store(int64(sh.outCount[sh.ps.gen]))
+		sh.diag.stalls.Store(sh.idleEpochs)
+	}
+}
+
+// monitor is an armed run's supervisor goroutine: it aborts the epoch loop
+// when ctx is cancelled (recording the observation time for the
+// cancel-latency telemetry) and, with wd > 0, trips the watchdog when the
+// merged epoch count stops advancing for a full deadline — publishing the
+// per-shard diagnostics first, so the abort's observer reads a complete
+// WatchdogError.
+func (ps *parState) monitor(ctx context.Context, wd time.Duration, quit <-chan struct{}, firedAt *atomic.Int64) {
+	var tc <-chan time.Time
+	if wd > 0 {
+		tick := wd / 4
+		if tick > 100*time.Millisecond {
+			tick = 100 * time.Millisecond
+		}
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		tc = t.C
+	}
+	last := ps.progress.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-ctx.Done():
+			firedAt.Store(time.Now().UnixNano())
+			ps.abort.CompareAndSwap(abortNone, abortCancel)
+			return
+		case <-tc:
+			cur := ps.progress.Load()
+			if cur != last {
+				last, lastChange = cur, time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= wd {
+				ps.wderr.Store(ps.watchdogError(wd))
+				ps.abort.CompareAndSwap(abortNone, abortWatchdog)
+				return
+			}
+		}
+	}
+}
+
+// watchdogError assembles the trip report from the shards' published
+// progress snapshots.
+func (ps *parState) watchdogError(wd time.Duration) *WatchdogError {
+	e := &WatchdogError{Deadline: wd, Epochs: ps.progress.Load()}
+	for _, sh := range ps.shards {
+		e.Shards = append(e.Shards, ShardDiag{
+			Shard:         int(sh.id),
+			Epoch:         sh.diag.epoch.Load(),
+			Pending:       int(sh.diag.pending.Load()),
+			Mailbox:       int(sh.diag.mailbox.Load()),
+			BarrierStalls: sh.diag.stalls.Load(),
+		})
+	}
+	return e
 }
 
 // deliver drains this shard's incoming mailboxes of the previous
@@ -530,6 +723,7 @@ func (sh *pshard) deliver() {
 // deterministic function of shard state in shard order.
 func (ps *parState) merge() {
 	ps.epochs++
+	ps.progress.Store(ps.epochs) // watchdog heartbeat; readers are off-loop
 	if ps.runAhead > 0 {
 		gm := int64(-1)
 		for _, sh := range ps.shards {
@@ -601,19 +795,27 @@ type spinBarrier struct {
 	sense atomic.Uint32
 }
 
-func (b *spinBarrier) wait(sense *uint32) {
+// wait returns false when an abort was observed while spinning: the
+// barrier will never complete (some worker has already left the protocol),
+// so the caller must exit too. The abort poll lives on the yield slow path
+// only — the first 128 spins stay a pure load loop.
+func (b *spinBarrier) wait(sense *uint32, abort *atomic.Int32) bool {
 	s := *sense ^ 1
 	*sense = s
 	if b.count.Add(1) == b.n {
 		b.count.Store(0)
 		b.sense.Store(s)
-		return
+		return true
 	}
 	for i := 0; b.sense.Load() != s; i++ {
 		if i > 128 {
+			if abort.Load() != abortNone {
+				return false
+			}
 			runtime.Gosched()
 		}
 	}
+	return true
 }
 
 // ---- event handlers --------------------------------------------------------

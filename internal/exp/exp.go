@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -217,6 +218,20 @@ type Result struct {
 // The jobs=1-vs-N determinism tests hold that bargain in place.
 type Scratch struct {
 	vals map[any]any
+
+	// Ctx is the sweep's context, set by the runner so point closures can
+	// thread cancellation into chip.Machine.RunCtx/RunShardedCtx. Closures
+	// should read it through Context, which never returns nil.
+	Ctx context.Context
+}
+
+// Context returns the sweep's context, or context.Background for a
+// Scratch built outside a runner (tests, bespoke harness loops).
+func (s *Scratch) Context() context.Context {
+	if s.Ctx == nil {
+		return context.Background()
+	}
+	return s.Ctx
 }
 
 // Get returns the value cached under key, building and caching it on first
@@ -271,6 +286,21 @@ type Outcome struct {
 	Doc        string        `json:"doc,omitempty"`
 	Machine    string        `json:"machine,omitempty"`
 	Points     []PointResult `json:"points"`
+
+	// Robustness telemetry, excluded from JSON like the per-point counters:
+	// on a fault-free run every field is zero, so BENCH_*.json trajectories
+	// stay byte-stable. Retries counts attempts beyond each point's first
+	// (including retries that recovered); PointErrors counts points that
+	// exhausted their attempt budget; WatchdogTrips counts point failures
+	// carrying a chip.WatchdogError; CancelLatencyMS is the largest
+	// observed cancel→halt latency among aborted points; Cancelled marks a
+	// sweep cut short by its context, in which case Points holds only the
+	// points that completed (at their original indices).
+	Retries         int64   `json:"-"`
+	PointErrors     int64   `json:"-"`
+	WatchdogTrips   int64   `json:"-"`
+	CancelLatencyMS float64 `json:"-"`
+	Cancelled       bool    `json:"-"`
 }
 
 // Series groups the outcome's points into labelled curves, ordered by

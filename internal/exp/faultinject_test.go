@@ -1,0 +1,75 @@
+//go:build faultinject
+
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestInjectedPointFaultsAreRecovered arms a seed-derived plan that panics
+// some points and error-fails others on their first attempts, runs the
+// sweep with a retry budget covering the plan, and asserts full recovery:
+// every injected fault was hit (the counters are the oracle), every point
+// still completed, and the outcome is identical to a fault-free sweep.
+func TestInjectedPointFaultsAreRecovered(t *testing.T) {
+	e := synthetic(nil)
+	want, err := Runner{Jobs: 2}.Run(e)
+	if err != nil {
+		t.Fatalf("fault-free baseline failed: %v", err)
+	}
+
+	plan := &faults.Plan{Seed: 0xA11CE, PointAttempts: 2}
+	picked := plan.PickPoints(16, 4)
+	plan.PanicPoints = picked[:2]
+	plan.FailPoints = picked[2:]
+	faults.Arm(plan)
+	defer faults.Disarm()
+
+	got, err := Runner{Jobs: 2, Retries: 2}.Run(e)
+	if err != nil {
+		t.Fatalf("sweep did not recover from the injected plan: %v", err)
+	}
+	st := faults.Stats()
+	if st.PointPanics != 4 || st.PointFails != 4 {
+		t.Fatalf("injected %d panics / %d fails, want 4 / 4 (2 points × 2 attempts each)",
+			st.PointPanics, st.PointFails)
+	}
+	if got.Retries != 8 {
+		t.Errorf("Retries = %d, want 8 (4 faulted points × 2 burned attempts)", got.Retries)
+	}
+	if got.PointErrors != 0 {
+		t.Errorf("recovered sweep still reports %d point errors", got.PointErrors)
+	}
+	b1, _ := want.JSON()
+	b2, _ := got.JSON()
+	if string(b1) != string(b2) {
+		t.Fatalf("recovered sweep diverged from fault-free sweep:\n%s\n----\n%s", b1, b2)
+	}
+}
+
+// TestInjectedPointFaultSurfacesWithoutRetries: the same plan with no
+// retry budget must surface as a PointError wrapping ErrInjected — the
+// fault is recovered into a structured report, never swallowed.
+func TestInjectedPointFaultSurfacesWithoutRetries(t *testing.T) {
+	plan := &faults.Plan{Seed: 7, FailPoints: []int{3}, PointAttempts: 1}
+	faults.Arm(plan)
+	defer faults.Disarm()
+
+	out, err := Runner{Jobs: 1}.Run(synthetic(nil))
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected failure returned %v, want *PointError", err)
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("PointError does not wrap faults.ErrInjected: %v", err)
+	}
+	if pe.Index != 3 {
+		t.Errorf("PointError.Index = %d, want 3", pe.Index)
+	}
+	if len(out.Points) != 15 {
+		t.Errorf("partial outcome has %d points, want 15", len(out.Points))
+	}
+}

@@ -1,0 +1,89 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// BuildEnabled reports whether this binary was built with the faultinject
+// tag and can therefore inject faults at all.
+const BuildEnabled = true
+
+// armed is the installed plan; nil (the default) injects nothing even in a
+// faultinject build, so the ordinary test suite runs unchanged under the
+// tag.
+var armed atomic.Pointer[Plan]
+
+// Arm installs the plan (zeroing the counters) so the hooks start
+// injecting. Concurrent runs see the plan atomically; tests must not run
+// two armed campaigns in parallel.
+func Arm(p *Plan) {
+	ResetStats()
+	armed.Store(p)
+}
+
+// Disarm removes the installed plan.
+func Disarm() { armed.Store(nil) }
+
+// PointFault is the exp runner's per-attempt hook: for a listed point it
+// panics (PanicPoints) or returns ErrInjected (FailPoints) on each leading
+// attempt below the plan's PointAttempts, then lets the attempt through.
+func PointFault(index, attempt int) error {
+	p := armed.Load()
+	if p == nil || attempt >= p.failAttempts() {
+		return nil
+	}
+	if contains(p.PanicPoints, index) {
+		counters.pointPanics.Add(1)
+		panic(fmt.Sprintf("faults: injected panic at point %d attempt %d (seed %#x)", index, attempt, p.Seed))
+	}
+	if contains(p.FailPoints, index) {
+		counters.pointFails.Add(1)
+		return fmt.Errorf("%w (point %d attempt %d, seed %#x)", ErrInjected, index, attempt, p.Seed)
+	}
+	return nil
+}
+
+// FFDecline is forward.go's post-validation hook: true forces the
+// validated jump candidate to be declined, exercising the rollback path.
+func FFDecline() bool {
+	p := armed.Load()
+	if p == nil || !p.DeclineJumps {
+		return false
+	}
+	counters.ffDeclines.Add(1)
+	return true
+}
+
+// ShardStall is the sharded epoch loop's hook: it blocks the matching
+// shard for the plan's StallFor once its epoch ordinal reaches StallEpoch,
+// wedging it long enough to trip the barrier watchdog.
+func ShardStall(shard int, epoch int64) {
+	p := armed.Load()
+	if p == nil || p.StallFor <= 0 || shard != p.StallShard || epoch < p.StallEpoch {
+		return
+	}
+	if p.StallOnce && !p.stallsDone.CompareAndSwap(0, 1) {
+		return
+	}
+	if !p.StallOnce {
+		p.stallsDone.Add(1)
+	}
+	counters.shardStalls.Add(1)
+	time.Sleep(p.StallFor)
+}
+
+// CancelStep returns the armed step budget for the sequential engine
+// (0: none).
+func CancelStep() uint64 {
+	if p := armed.Load(); p != nil {
+		return p.CancelStep
+	}
+	return 0
+}
+
+// NoteStepCancel records that an armed step budget actually halted a run.
+func NoteStepCancel() { counters.stepCancels.Add(1) }

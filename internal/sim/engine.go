@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is a simulation timestamp in core clock cycles.
@@ -115,6 +116,15 @@ type Engine struct {
 	// Reference 4-ary heap, selected by UseReferenceHeap.
 	heapMode bool
 	events   []event // 4-ary min-heap ordered by (when, seq)
+
+	// Cooperative cancellation (see SetStop/StopAt). The flag is polled
+	// amortized — once per stopPollInterval bucket drains — so an unarmed
+	// engine pays two nil/zero compares per tie group and an armed one a
+	// fraction of an atomic load per event.
+	stop    *atomic.Bool
+	stopAt  uint64 // step budget; 0 means none
+	checkIn int32  // drains until the next poll
+	halted  bool
 }
 
 // Now returns the current simulation time.
@@ -134,6 +144,58 @@ func (e *Engine) Pending() int {
 // SetHandler installs the dispatcher for typed events. It must be set
 // before the first Schedule'd event executes.
 func (e *Engine) SetHandler(h Handler) { e.handler = h }
+
+// stopPollInterval is the number of bucket drains between cooperative
+// cancellation polls. It amortizes the atomic load far below measurement
+// noise on the event hot path while bounding cancel latency to well under
+// a millisecond of wall clock (a tie-group drain is microseconds at most).
+const stopPollInterval = 1024
+
+// SetStop installs (or, with nil, removes) a cancellation flag. Run and
+// RunUntil poll it cooperatively and return early once it is set, leaving
+// pending events in place; Interrupted reports whether that happened.
+// The flag may be set from another goroutine — it is the engine's only
+// cross-goroutine input.
+func (e *Engine) SetStop(stop *atomic.Bool) {
+	e.stop = stop
+	e.halted = false
+}
+
+// StopAt arms a step budget: Run halts cooperatively once at least steps
+// events have executed (checked on the same amortized schedule as the stop
+// flag, so the exact halt step is a deterministic function of the event
+// stream). 0 disarms. It exists for deterministic cancellation testing —
+// fault injection cancels "at step N" reproducibly, where wall-clock
+// deadlines cannot.
+func (e *Engine) StopAt(steps uint64) {
+	e.stopAt = steps
+	e.halted = false
+}
+
+// Interrupted reports whether the last Run/RunUntil returned early because
+// the stop flag or the step budget fired.
+func (e *Engine) Interrupted() bool { return e.halted }
+
+// stopPoll is the amortized cancellation check. Unarmed engines take the
+// first branch: two compares against zero registers per tie group.
+func (e *Engine) stopPoll() bool {
+	if e.stop == nil && e.stopAt == 0 {
+		return false
+	}
+	if e.checkIn--; e.checkIn > 0 {
+		return false
+	}
+	e.checkIn = stopPollInterval
+	if e.stopAt != 0 && e.steps >= e.stopAt {
+		e.halted = true
+		return true
+	}
+	if e.stop != nil && e.stop.Load() {
+		e.halted = true
+		return true
+	}
+	return false
+}
 
 // UseReferenceHeap switches the engine to the reference 4-ary heap queue.
 // It exists for differential testing against the timing wheel and must be
@@ -164,6 +226,7 @@ func (e *Engine) Reset() {
 		clear(lv)
 	}
 	e.count = 0
+	e.stop, e.stopAt, e.checkIn, e.halted = nil, 0, 0, false
 }
 
 // Schedule enqueues a typed event at absolute time when. It is the
@@ -489,11 +552,14 @@ func (e *Engine) Step() bool {
 // and falls back to a fresh search.
 func (e *Engine) Run() {
 	if e.heapMode {
-		for e.Step() {
+		for !e.stopPoll() && e.Step() {
 		}
 		return
 	}
 	for e.count > 0 {
+		if e.stopPoll() {
+			return
+		}
 		s := e.earliestSlot()
 		g := e.gen
 		for {
@@ -553,11 +619,14 @@ func (e *Engine) RunUntil(t Time) int {
 	if e.heapMode {
 		for {
 			when, ok := e.peek()
-			if !ok || when > t {
+			if !ok || when > t || e.stopPoll() {
 				break
 			}
 			e.Step()
 			n++
+		}
+		if e.halted {
+			return n
 		}
 		if e.now < t {
 			e.now = t
@@ -565,6 +634,9 @@ func (e *Engine) RunUntil(t Time) int {
 		return n
 	}
 	for e.count > 0 {
+		if e.stopPoll() {
+			return n
+		}
 		s := e.earliestSlot()
 		b := &e.slots[s]
 		if b.evs[b.head].when > t {
