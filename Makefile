@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet build test test-race test-faults test-full bench bench-smoke bench-diff figures clean
+.PHONY: ci fmt vet build test test-race test-faults test-full bench bench-smoke bench-diff shard-smoke figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -75,6 +75,21 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5SegmentedOverhead' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json
 	rm -f BENCH_smoke.json
+
+# shard-smoke runs a small fig4 slice sequentially and again on the
+# sharded engine with four run workers, printing both wall times. The
+# timing contrast is informational only — shared CI runners make
+# wall-clock gating flaky — but the sharded leg itself is the smoke: the
+# batched epoch loop under real parallelism, the -shards flag plumbing,
+# and the rounds/busy-shard telemetry line all execute end to end.
+# -jobs 1 on both legs so run-level sharding is the only parallelism in
+# play and the contrast means something.
+shard-smoke:
+	@echo "== fig4 slice, sequential engine =="
+	time $(GO) run ./cmd/figures -scale small -fig 4 -jobs 1 -json=false -out shard-smoke-out
+	@echo "== fig4 slice, sharded engine (4 workers) =="
+	time $(GO) run ./cmd/figures -scale small -fig 4 -jobs 1 -shards 4 -json=false -out shard-smoke-out
+	rm -rf shard-smoke-out
 
 # figures regenerates the paper-scale figures in parallel.
 figures:

@@ -32,15 +32,17 @@ func mean(ys []float64) float64 { return stats.Summarize(ys).Mean }
 // second, plus the fraction of simulated cycles the steady-state
 // fast-forward covered analytically.
 type simTotals struct {
-	cycles    int64
-	accesses  int64
-	ffCycles  int64
-	ffJumps   int64
-	ffSkipped int64
-	shards    int64
-	width     int64
-	epochs    int64
-	stalls    int64
+	cycles     int64
+	accesses   int64
+	ffCycles   int64
+	ffJumps    int64
+	ffSkipped  int64
+	shards     int64
+	width      int64
+	epochs     int64
+	microEp    int64
+	stalls     int64
+	busyRounds int64
 
 	// Robustness telemetry (exp.Outcome's resilience counters plus directly
 	// observed watchdog trips). Zero on every fault-free sweep, so the
@@ -70,15 +72,17 @@ func (st *simTotals) fold(out exp.Outcome) {
 	st.ffCycles += fc
 	st.ffJumps += fj
 	st.ffSkipped += fs
-	sh, w, ep, bs := out.ShardTotals()
-	if sh > st.shards {
-		st.shards = sh
+	t := out.ShardTotals()
+	if t.Shards > st.shards {
+		st.shards = t.Shards
 	}
-	if w > st.width {
-		st.width = w
+	if t.Width > st.width {
+		st.width = t.Width
 	}
-	st.epochs += ep
-	st.stalls += bs
+	st.epochs += t.Epochs
+	st.microEp += t.BatchedEpochs
+	st.stalls += t.Stalls
+	st.busyRounds += t.BusyRounds
 	st.retries += out.Retries
 	st.pointErrors += out.PointErrors
 	st.watchdogTrips += out.WatchdogTrips
@@ -104,12 +108,19 @@ func (st *simTotals) report(b *testing.B) {
 	}
 	if st.shards > 0 {
 		// Sharded-engine scaling telemetry: the decomposition (domains),
-		// the epoch width the engine actually derived (reported by the
-		// runs, not re-derived here), and how often shards hit a barrier
-		// with no work — the load-imbalance measure — per wallclock second.
+		// the epoch width the engine actually used (reported by the runs,
+		// not re-derived here), synchronization rounds per iteration and
+		// micro-epochs per wallclock second (the batched loop's throughput),
+		// how often shards hit an epoch with no work, and what fraction of
+		// (shard, round) pairs did real work — the load-balance headline.
 		b.ReportMetric(float64(st.shards), "shards")
 		b.ReportMetric(float64(st.width), "epoch-width")
+		b.ReportMetric(float64(st.epochs)/float64(b.N), "epochs")
+		b.ReportMetric(float64(st.microEp)/secs, "batched-epochs/s")
 		b.ReportMetric(float64(st.stalls)/secs, "barrier-stalls/s")
+		if st.epochs > 0 {
+			b.ReportMetric(100*float64(st.busyRounds)/float64(st.shards*st.epochs), "busy-shard-%")
+		}
 	}
 	if st.retries > 0 || st.pointErrors > 0 || st.watchdogTrips > 0 || st.cancelMS > 0 {
 		// Robustness telemetry, per iteration (deterministic counts): how

@@ -22,7 +22,10 @@
 // they are listed in an explicit "added"/"removed" section, so growing or
 // retiring a benchmark is a reviewed diff line instead of a manual repair.
 // The same applies to metrics present on only one side of a shared
-// benchmark (a newly reported unit, a retired one). On failure the tool
+// benchmark (a newly reported unit, a retired one), and to the sharded
+// engine's epoch-width metric: a width change means the derivation moved
+// or one side was measured with a relaxed -epoch-width, so it is reported
+// as an explicit informational line but never gated. On failure the tool
 // prints a per-benchmark delta table of every gated metric so the
 // regression is locatable without re-running anything.
 //
@@ -149,6 +152,18 @@ func compare(bd, fd doc, maxDrop, maxAllocGrowth, maxFFDrop float64, w io.Writer
 					r.failed = true
 				}
 				fmt.Fprintf(w, "%-40s allocs/op  %12.0f -> %12.0f %s\n", n, balloc, falloc, status)
+			}
+		}
+		// The sharded engine's epoch width is configuration, not
+		// performance: the width changes when the conservative derivation
+		// changes or when a trajectory was measured relaxed (-epoch-width),
+		// and either way the right reaction is review, not a red build. A
+		// changed width is therefore always an explicit informational line
+		// and never a gated regression — it warns that the two trajectories
+		// may not be comparable at all.
+		if bw, ok := b["epoch-width"]; ok {
+			if fw, ok := f["epoch-width"]; ok && fw != bw {
+				fmt.Fprintf(w, "%-40s epoch-width %10.0f -> %10.0f (informational, never gated: trajectories may not be comparable)\n", n, bw, fw)
 			}
 		}
 		// One-sided metrics within a shared benchmark are informational:

@@ -13,6 +13,7 @@
 //
 //	figures [-fig all|2|4|5|6|7|scaling|comma-list] [-scale full|small]
 //	        [-machine NAME] [-jobs N] [-shards N] [-timeout DUR]
+//	        [-epoch-width N [-relaxed-ok]] [-epoch-batch=false]
 //	        [-json=false] [-out DIR] [-cpuprofile FILE] [-memprofile FILE]
 //	figures -list
 //
@@ -26,6 +27,14 @@
 // core budget with -jobs and never changes a result byte, but the sharded
 // engine's epoch semantics differ slightly from the sequential default, so
 // committed BENCH trajectories are always regenerated with -shards 0.
+//
+// -epoch-width overrides the sharded engine's epoch width: values above
+// the machine's conservative bound run relaxed wide epochs, which are
+// deterministic but trade bounded timing drift for speed and therefore
+// must not silently enter JSON trajectories — combining a relaxed width
+// with -json requires the explicit -relaxed-ok. -epoch-batch=false selects
+// the engine's classic rendezvous-per-epoch loop (byte-identical results,
+// only slower), mainly for differential measurements.
 //
 // -machine reruns the sweeps on another profile from the internal/machine
 // registry; the profile name is stamped into the JSON trajectories. The
@@ -63,6 +72,9 @@ func main() {
 		"machine profile to simulate: "+strings.Join(machine.Names(), ", "))
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for the sweep pool (<=0: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "run each point on the controller-domain sharded engine with up to N workers (0: sequential engine, -1: auto — share GOMAXPROCS with -jobs); results are invariant under N")
+	epochWidth := flag.Int64("epoch-width", 0, "override the sharded engine's epoch width in cycles (0: conservative bound; wider values run relaxed epochs whose results differ — see -relaxed-ok)")
+	relaxedOK := flag.Bool("relaxed-ok", false, "allow -json trajectories from a relaxed -epoch-width run (they are NOT comparable to conservative trajectories)")
+	epochBatch := flag.Bool("epoch-batch", true, "use the sharded engine's batched epoch loop (false: classic rendezvous-per-epoch loop; results are byte-identical either way)")
 	jsonOut := flag.Bool("json", true, "also write BENCH_<fig>.json trajectories")
 	out := flag.String("out", "figures-out", "output directory for CSV/JSON files")
 	list := flag.Bool("list", false, "print the figure and machine-profile registries and exit")
@@ -111,6 +123,28 @@ func main() {
 	// Run-level and sweep-level parallelism share the core budget: with J
 	// sweep jobs each sharded run gets GOMAXPROCS/J workers at most.
 	o.Shards = exp.ShardBudget(*shards, *jobs)
+	o.EpochWidth = *epochWidth
+	o.NoBatch = !*epochBatch
+	// Relaxed wide epochs trade timing fidelity for speed; their results are
+	// deterministic but NOT comparable to conservative trajectories, so
+	// writing BENCH_*.json from a relaxed run needs an explicit opt-in.
+	if *epochWidth != 0 {
+		if *shards == 0 {
+			fmt.Fprintln(os.Stderr, "figures: -epoch-width only applies to the sharded engine; set -shards too")
+			fail(2)
+		}
+		m := chip.New(prof.Config)
+		if *epochWidth < m.EpochWidth() {
+			fmt.Fprintf(os.Stderr, "figures: %v: -epoch-width %d, machine %s derives %d\n",
+				chip.ErrEpochWidthTooNarrow, *epochWidth, prof.Name, m.EpochWidth())
+			fail(2)
+		}
+		if *epochWidth > m.EpochWidth() && *jsonOut && !*relaxedOK {
+			fmt.Fprintf(os.Stderr, "figures: -epoch-width %d is relaxed (conservative bound %d): refusing to write -json trajectories without -relaxed-ok\n",
+				*epochWidth, m.EpochWidth())
+			fail(2)
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -174,13 +208,13 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Printf("== %s [machine %s] — %d points, %d jobs, %s ==\n",
 			f.Title, prof.Name, len(outcome.Points), *jobs, elapsed.Round(time.Millisecond))
-		if sh, _, ep, st := outcome.ShardTotals(); sh > 0 {
+		if t := outcome.ShardTotals(); t.Shards > 0 {
 			workers := int64(o.Shards)
-			if sh < workers {
-				workers = sh // the engine caps workers at the domain count
+			if t.Shards < workers {
+				workers = t.Shards // the engine caps workers at the domain count
 			}
-			fmt.Printf("   sharded engine: %d domains, %d run workers, %d epochs, %.0f barrier-stalls/s\n",
-				sh, workers, ep, float64(st)/elapsed.Seconds())
+			fmt.Printf("   sharded engine: %d domains, %d run workers, width %d, %d rounds (%d micro-epochs), %.1f%% busy shards\n",
+				t.Shards, workers, t.Width, t.Epochs, t.BatchedEpochs, t.BusyShardPct())
 		}
 		if outcome.Retries > 0 || outcome.PointErrors > 0 {
 			fmt.Printf("   resilience: %d retries, %d point errors, %d watchdog trips\n",

@@ -81,6 +81,9 @@ func main() {
 	sweep := flag.String("sweep", "", "sweep one parameter: {offset|arrayoffset|n|threads}=lo:hi:step (hi inclusive)")
 	jobs := flag.Int("jobs", 0, "worker goroutines for -sweep (<=0: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "run on the controller-domain sharded engine with up to N workers (0: sequential engine, -1: auto); results are invariant under N")
+	epochWidth := flag.Int64("epoch-width", 0, "override the sharded engine's epoch width in cycles (0: conservative bound; wider values run relaxed epochs whose results differ — see -relaxed-ok)")
+	relaxedOK := flag.Bool("relaxed-ok", false, "allow -json trajectories from a relaxed -epoch-width run (they are NOT comparable to conservative trajectories)")
+	epochBatch := flag.Bool("epoch-batch", true, "use the sharded engine's batched epoch loop (false: classic rendezvous-per-epoch loop; results are byte-identical either way)")
 	jsonOut := flag.String("json", "", "with -sweep: write the JSON trajectory to this file ('-' for stdout)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run or sweep; on expiry the simulation aborts cooperatively and the exit code is 3 (0: no deadline)")
 	flag.Parse()
@@ -99,6 +102,24 @@ func main() {
 		fail("%v: -shards %d, machine %q has %d controller domains",
 			chip.ErrShardOversubscribed, *shards, prof.Name, d)
 	}
+	sopt := chip.ShardOptions{EpochWidth: *epochWidth, NoBatch: !*epochBatch}
+	if *epochWidth != 0 {
+		if *shards == 0 {
+			fail("-epoch-width only applies to the sharded engine; set -shards too")
+		}
+		derived := chip.New(cfg).EpochWidth()
+		if *epochWidth < derived {
+			fail("%v: -epoch-width %d, machine %q derives %d",
+				chip.ErrEpochWidthTooNarrow, *epochWidth, prof.Name, derived)
+		}
+		// Relaxed wide epochs are deterministic but not comparable to
+		// conservative results; a JSON trajectory from one needs an explicit
+		// opt-in.
+		if *epochWidth > derived && *jsonOut != "" && !*relaxedOK {
+			fail("-epoch-width %d is relaxed (conservative bound %d): refusing to write -json without -relaxed-ok",
+				*epochWidth, derived)
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -108,10 +129,12 @@ func main() {
 	}
 
 	if *sweep == "" {
-		runSingle(ctx, prof, cfg, p, exp.ShardBudget(*shards, 1))
+		sopt.Workers = exp.ShardBudget(*shards, 1)
+		runSingle(ctx, prof, cfg, p, sopt)
 		return
 	}
-	runSweep(ctx, prof, cfg, p, *sweep, *jobs, exp.ShardBudget(*shards, *jobs), *jsonOut)
+	sopt.Workers = exp.ShardBudget(*shards, *jobs)
+	runSweep(ctx, prof, cfg, p, *sweep, *jobs, sopt, *jsonOut)
 }
 
 // failTimeout reports a run cut short by -timeout; exit code 3 separates
@@ -218,15 +241,15 @@ func (p params) build(cfg chip.Config) (*trace.Program, error) {
 }
 
 // runSingle simulates one point and prints the detailed report.
-func runSingle(ctx context.Context, prof machine.Profile, cfg chip.Config, p params, shardWorkers int) {
+func runSingle(ctx context.Context, prof machine.Profile, cfg chip.Config, p params, sopt chip.ShardOptions) {
 	prog, err := p.build(cfg)
 	if err != nil {
 		fail("%v", err)
 	}
 	m := chip.New(cfg)
 	var r chip.Result
-	if shardWorkers != 0 {
-		r, err = m.RunShardedCtx(ctx, prog, chip.ShardOptions{Workers: shardWorkers})
+	if sopt.Workers != 0 {
+		r, err = m.RunShardedCtx(ctx, prog, sopt)
 	} else {
 		r, err = m.RunCtx(ctx, prog)
 	}
@@ -240,9 +263,9 @@ func runSingle(ctx context.Context, prof machine.Profile, cfg chip.Config, p par
 
 	fmt.Printf("machine:   %s (%s)\n", prof.Name, prof.Doc)
 	if r.Shards > 0 {
-		fmt.Printf("engine:    sharded — %d controller domains, epoch width %d cycles, %d epochs, %d barrier stalls\n",
-			r.Shards, r.EpochWidth, r.Epochs, r.BarrierStalls)
-	} else if shardWorkers != 0 {
+		fmt.Printf("engine:    sharded — %d controller domains, epoch width %d cycles, %d rounds (%d micro-epochs), %.1f%% busy shards\n",
+			r.Shards, r.EpochWidth, r.Epochs, r.BatchedEpochs, r.BusyShardPct)
+	} else if sopt.Workers != 0 {
 		fmt.Printf("engine:    sequential (sharded engine requested but the run is not decomposable)\n")
 	}
 	fmt.Printf("program:   %s\n", r.Label)
@@ -290,7 +313,7 @@ func parseSweep(spec string) (axis string, lo, hi, step int64, err error) {
 
 // runSweep fans the one-axis sweep out over the worker pool and prints a
 // table plus the optional JSON trajectory.
-func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base params, spec string, jobs, shardWorkers int, jsonOut string) {
+func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base params, spec string, jobs int, sopt chip.ShardOptions, jsonOut string) {
 	axis, lo, hi, step, err := parseSweep(spec)
 	if err != nil {
 		fail("%v", err)
@@ -325,8 +348,8 @@ func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base p
 				return exp.Result{}, err
 			}
 			var r chip.Result
-			if shardWorkers != 0 {
-				r, err = chip.New(cfg).RunShardedCtx(sc.Context(), prog, chip.ShardOptions{Workers: shardWorkers})
+			if sopt.Workers != 0 {
+				r, err = chip.New(cfg).RunShardedCtx(sc.Context(), prog, sopt)
 			} else {
 				r, err = chip.New(cfg).RunCtx(sc.Context(), prog)
 			}

@@ -57,6 +57,17 @@ type Options struct {
 	// (the default) disables it, keeping the fault-free hot path — and
 	// every trajectory — untouched.
 	Watchdog time.Duration
+	// EpochWidth overrides the sharded engine's epoch width
+	// (chip.ShardOptions.EpochWidth): 0 derives the conservative bound; a
+	// wider value runs relaxed epochs, whose results are deterministic but
+	// differ from conservative ones and must never be mixed into
+	// byte-identity trajectories (the CLIs gate this behind -relaxed-ok).
+	EpochWidth int64
+	// NoBatch selects the sharded engine's classic rendezvous-per-epoch
+	// loop instead of the default batched one. Simulation output is
+	// byte-identical either way; the switch exists for differential tests
+	// and measurements.
+	NoBatch bool
 
 	// Fig. 2
 	StreamN      int64
@@ -184,7 +195,12 @@ func (o Options) runProg(cfg chip.Config, sc *exp.Scratch, p *trace.Program, war
 		if d := cfg.Mapping.Controllers(); workers > d {
 			workers = d // Shards is a core budget; each machine caps at its domains
 		}
-		return m.RunShardedCtx(sc.Context(), p, chip.ShardOptions{Workers: workers, Watchdog: o.Watchdog})
+		return m.RunShardedCtx(sc.Context(), p, chip.ShardOptions{
+			Workers:    workers,
+			Watchdog:   o.Watchdog,
+			EpochWidth: o.EpochWidth,
+			NoBatch:    o.NoBatch,
+		})
 	}
 	return m.RunCtx(sc.Context(), p)
 }
@@ -214,7 +230,9 @@ func measured(res exp.Result, r chip.Result) exp.Result {
 	res.Shards = r.Shards
 	res.EpochWidth = r.EpochWidth
 	res.Epochs = r.Epochs
+	res.BatchedEpochs = r.BatchedEpochs
 	res.BarrierStalls = r.BarrierStalls
+	res.BusyShardRounds = r.BusyShardRounds
 	return res
 }
 

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/jacobi"
+	"repro/internal/kernels"
+	"repro/internal/lbm"
+	"repro/internal/omp"
+	"repro/internal/phys"
+	"repro/internal/segarray"
+	"repro/internal/trace"
+)
+
+// TestRelaxedEnvelope is the tested contract behind -epoch-width: relaxed
+// wide epochs on the sharded engine stay inside a measured fidelity
+// envelope against the sequential engine on representative fig4, fig6 and
+// fig7 points. The contract, exactly as asserted here and documented in
+// DESIGN.md:
+//
+//   - cycle counts drift at most 5% from the sequential engine at every
+//     tested width (2x, 4x and 8x the conservative bound);
+//   - L2 hit and miss counters are bit-identical to the sequential engine;
+//   - L2 writeback counters are bit-identical wherever the CONSERVATIVE
+//     sharded engine is already bit-identical to the sequential one (the
+//     triad and Jacobi points). On the LBM point the conservative sharded
+//     engine itself deviates from the sequential engine by a handful of
+//     in-flight dirty lines at teardown (<0.01%); relaxation must not
+//     widen that pre-existing deviation past 0.1%.
+//
+// The envelope is a point-tested, empirical contract — not a theorem over
+// all programs. Points whose contention pattern is phase-locked to the
+// epoch grid (e.g. fig4 at offsets 0 and 128, where the conservative
+// sharded engine already drifts ~5% from sequential) can exceed the cycle
+// bound, which is exactly why relaxed widths refuse to write BENCH JSON
+// trajectories without an explicit -relaxed-ok. Everything here is
+// deterministic, so the assertions are exact, not flaky-tolerant.
+func TestRelaxedEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("envelope points are full-tier scale")
+	}
+	o := Small()
+
+	cases := []struct {
+		name string
+		mk   func() *trace.Program
+		// wbExact: the conservative sharded engine reproduces the
+		// sequential writeback counter exactly, so relaxed widths must too.
+		wbExact bool
+	}{
+		{"fig4-segtriad-n64k-off64", func() *trace.Program {
+			const threads = 64
+			sp := alloc.NewSpace()
+			ls := segTriadLayouts(sp, 1<<16, threads, 64)
+			k := kernels.SegVTriad(ls[0], ls[1], ls[2], ls[3])
+			return k.Program(threads)
+		}, true},
+		{"fig6-jacobi-n128-64T", func() *trace.Program {
+			rp := core.PlanRows(o.spec())
+			sp := alloc.NewSpace()
+			spec := jacobi.Spec{N: 128, Sched: omp.StaticChunk{Size: 1}, Sweeps: o.JacobiSweeps}
+			params := segarray.Params{ElemSize: phys.WordSize, Align: phys.PageSize,
+				SegAlign: rp.SegAlign, Shift: rp.Shift}
+			rows := make([]int64, spec.N)
+			for i := range rows {
+				rows[i] = spec.N
+			}
+			srcL := segarray.Plan(sp, params, rows)
+			dstL := segarray.Plan(sp, params, rows)
+			spec.Src = func(i int64) phys.Addr { return srcL.Segs[i].Start }
+			spec.Dst = func(i int64) phys.Addr { return dstL.Segs[i].Start }
+			return spec.Program(64)
+		}, true},
+		{"fig7-lbm-n48-IvJK-fused", func() *trace.Program {
+			sp := alloc.NewSpace()
+			spec := lbm.TraceSpec{
+				N: 48, Layout: lbm.IvJK,
+				OldBase:  sp.Malloc(lbm.GridBytes(48, lbm.IvJK)),
+				NewBase:  sp.Malloc(lbm.GridBytes(48, lbm.IvJK)),
+				MaskBase: sp.Malloc(lbm.MaskBytes(48, lbm.IvJK)),
+				Fused:    true, Sched: omp.StaticBlock{}, Sweeps: o.LBMSweeps,
+			}
+			return spec.Program(64)
+		}, false},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			run := func(shards int, width int64) chip.Result {
+				oo := o
+				oo.Shards = shards
+				oo.EpochWidth = width
+				var sc exp.Scratch
+				r, err := oo.runProg(o.Cfg, &sc, c.mk(), o.warmLines())
+				if err != nil {
+					t.Fatalf("shards=%d width=%d: %v", shards, width, err)
+				}
+				return r
+			}
+			seq := run(0, 0)
+			cons := run(4, 0) // conservative sharded: the wbExact baseline
+			if c.wbExact && cons.L2 != seq.L2 {
+				t.Fatalf("conservative sharded L2 stats deviate from sequential: %+v vs %+v "+
+					"(point misclassified: set wbExact=false and document the deviation)",
+					cons.L2, seq.L2)
+			}
+			w := cons.EpochWidth
+			for _, mult := range []int64{2, 4, 8} {
+				r := run(4, mult*w)
+				if r.EpochWidth != mult*w {
+					t.Fatalf("width %d not applied: result reports %d", mult*w, r.EpochWidth)
+				}
+				drift := math.Abs(float64(r.Cycles)-float64(seq.Cycles)) / float64(seq.Cycles)
+				if drift > 0.05 {
+					t.Errorf("width %d: cycle drift %.2f%% vs sequential exceeds the 5%% envelope (%d vs %d)",
+						mult*w, 100*drift, r.Cycles, seq.Cycles)
+				}
+				if r.L2.Hits != seq.L2.Hits || r.L2.Misses != seq.L2.Misses {
+					t.Errorf("width %d: L2 hit/miss counters deviate from sequential: %d/%d vs %d/%d",
+						mult*w, r.L2.Hits, r.L2.Misses, seq.L2.Hits, seq.L2.Misses)
+				}
+				if c.wbExact {
+					if r.L2.Writebacks != seq.L2.Writebacks {
+						t.Errorf("width %d: writebacks deviate from sequential: %d vs %d",
+							mult*w, r.L2.Writebacks, seq.L2.Writebacks)
+					}
+				} else {
+					wbDrift := math.Abs(float64(r.L2.Writebacks)-float64(seq.L2.Writebacks)) /
+						float64(seq.L2.Writebacks)
+					if wbDrift > 0.001 {
+						t.Errorf("width %d: writeback deviation %.4f%% vs sequential exceeds 0.1%% (%d vs %d)",
+							mult*w, 100*wbDrift, r.L2.Writebacks, seq.L2.Writebacks)
+					}
+				}
+			}
+		})
+	}
+}

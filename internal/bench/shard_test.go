@@ -59,19 +59,59 @@ func TestShardDeterminismAcrossProfiles(t *testing.T) {
 	}
 }
 
+// TestShardedBatchingJSONIdentity pins the tentpole invariant at the
+// trajectory level: the batched epoch loop (the default) and the classic
+// rendezvous-per-epoch loop must produce byte-identical BENCH JSON for
+// fig2, fig4 and fig6 at every shard-worker count. The chip-level equivalence
+// test covers Result structs on synthetic programs; this one covers the
+// real figure sweeps end to end, including the stats maps that feed the
+// committed trajectories.
+func TestShardedBatchingJSONIdentity(t *testing.T) {
+	prof, err := machine.Get(machine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCounts := []int{1, 2, 4}
+	if testing.Short() {
+		shardCounts = []int{2} // the -race -short CI leg; full tier restores {1, 2, 4}
+	}
+	figOptions := func() Options {
+		o := shardTestOptions(prof)
+		o.JacobiNs = []int64{128}
+		o.JacobiThreads = []int{8}
+		return o
+	}
+	for _, fig := range []string{"fig2", "fig4", "fig6"} {
+		for _, shards := range shardCounts {
+			o := figOptions()
+			o.Shards = shards
+			batched := mustJSON(t, o, fig)
+			o.NoBatch = true
+			classic := mustJSON(t, o, fig)
+			if string(batched) != string(classic) {
+				t.Errorf("%s shards=%d: batched trajectory differs from classic loop (%d vs %d bytes)",
+					fig, shards, len(batched), len(classic))
+			}
+		}
+	}
+}
+
 // mustJSON runs one figure experiment on a two-job pool and returns its
 // canonical JSON, asserting that the sharded engine actually engaged.
 func mustJSON(t *testing.T, o Options, fig string) []byte {
 	t.Helper()
 	var e = o.Fig2Exp()
-	if fig == "fig4" {
+	switch fig {
+	case "fig4":
 		e = o.Fig4Exp()
+	case "fig6":
+		e = o.Fig6Exp()
 	}
 	out, err := exp.Runner{Jobs: 2}.Run(e)
 	if err != nil {
 		t.Fatalf("%s: %v", fig, err)
 	}
-	if shards, _, _, _ := out.ShardTotals(); shards == 0 {
+	if out.ShardTotals().Shards == 0 {
 		t.Fatalf("%s: no point ran on the sharded engine (machine %q)", fig, o.Machine)
 	}
 	b, err := out.JSON()

@@ -125,10 +125,13 @@ type Result struct {
 	// Like the FF fields these are deterministic descriptions of the run —
 	// invariant under the worker count, which never appears here because it
 	// is an execution detail that must not change a single result byte.
-	Shards        int64 // controller domains the run was partitioned into
-	EpochWidth    int64 // conservative epoch width in cycles
-	Epochs        int64 // synchronization epochs executed
-	BarrierStalls int64 // (shard, epoch) pairs where a shard had no event to run
+	Shards          int64   // controller domains the run was partitioned into
+	EpochWidth      int64   // epoch width in cycles (conservative bound, or the relaxed override)
+	Epochs          int64   // synchronization rounds: serial merges (classic loop) or batched rounds
+	BatchedEpochs   int64   // micro-epochs executed (== Epochs under the classic loop)
+	BarrierStalls   int64   // (shard, micro-epoch) pairs where a shard had no event to run
+	BusyShardRounds int64   // (shard, round) pairs where the shard executed at least one event
+	BusyShardPct    float64 // 100 * BusyShardRounds / (Shards * Epochs)
 }
 
 // Balance returns min/max controller utilization, the paper's notion of

@@ -1,0 +1,80 @@
+package chip_test
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestEpochWidthAcrossProfiles pins the conservative epoch width the
+// sharded engine derives for every registered machine profile. All
+// profiles share the calibrated T2 timing block (crossbar latency 3,
+// L2 bank service 4), so the bound is min(3, 4) = 3 cycles everywhere —
+// including the degenerate single-controller and hashed-interleave
+// machines, whose mapping changes geometry but not the latency by which
+// a cross-shard effect trails its cause. A profile that ever ships
+// different timings must update this table consciously: the width is the
+// lookahead of the conservative parallel simulation, and shrinking it
+// silently would change every sharded run's epoch grid.
+func TestEpochWidthAcrossProfiles(t *testing.T) {
+	want := map[string]sim.Time{
+		"t2":        3,
+		"t2-1mc":    3,
+		"t2-2mc":    3,
+		"mc8":       3,
+		"t2-wide1k": 3,
+		"t2-wide4k": 3,
+		"xor":       3,
+		"single":    3,
+	}
+	profiles := machine.Profiles()
+	if len(profiles) != len(want) {
+		t.Errorf("registry has %d profiles, table pins %d — update the table", len(profiles), len(want))
+	}
+	for _, p := range profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("profile %q missing from the epoch-width table", p.Name)
+			continue
+		}
+		if got := chip.New(p.Config).EpochWidth(); got != w {
+			t.Errorf("profile %q: derived epoch width %d, want %d", p.Name, got, w)
+		}
+	}
+}
+
+// TestEpochWidthDerivation exercises the derivation rule itself on
+// synthetic timing variants of the t2 configuration: the width is the
+// minimum of crossbar latency and L2 bank service (the two paths a
+// cross-shard effect can take), clamped to at least one cycle so a
+// zero-latency configuration still makes epoch progress.
+func TestEpochWidthDerivation(t *testing.T) {
+	base, err := machine.Get(machine.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		xbar int64
+		bank int64
+		want sim.Time
+	}{
+		{"xbar-binds", 3, 4, 3},
+		{"bank-binds", 10, 4, 4},
+		{"equal", 5, 5, 5},
+		{"clamped-to-one", 0, 0, 1},
+		{"one-cycle-xbar", 1, 4, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base.Config
+			cfg.XbarLatency = c.xbar
+			cfg.L2BankService = c.bank
+			if got := chip.New(cfg).EpochWidth(); got != c.want {
+				t.Errorf("xbar=%d bank=%d: derived width %d, want %d", c.xbar, c.bank, got, c.want)
+			}
+		})
+	}
+}

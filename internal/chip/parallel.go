@@ -181,7 +181,17 @@ type pshard struct {
 	active   int
 	localMin int64 // min items over active home strands; -1 once none
 	parked   []int32
+	parkMin  int64 // min items over parked home strands; -1 when none parked
 	running  int
+
+	// Per-shard copies of the global epoch cursor state. Every shard holds
+	// the same values at all times — the owning worker updates them at each
+	// epoch boundary (batched loop) or the serial merge updates them all
+	// (classic loop) — so the hot paths (send clamps, window checks, the
+	// wheel's run horizon) read shard-owned state and never race.
+	gen      int      // mailbox generation being produced this epoch
+	epochEnd sim.Time // end (exclusive) of the epoch being executed
+	gmin     int64    // run-ahead global minimum of the last boundary; -1 once all retired
 
 	units        int64
 	repBytes     int64
@@ -191,8 +201,10 @@ type pshard struct {
 	retryStall   int64
 	retries      int64
 	finish       sim.Time
-	idleEpochs   int64 // epochs this shard executed no event (barrier stalls)
-	epochsRun    int64 // epochs this shard has executed (watchdog/fault bookkeeping)
+	idleEpochs   int64  // epochs this shard executed no event (barrier stalls)
+	epochsRun    int64  // epochs this shard has executed (watchdog/fault bookkeeping)
+	busyRounds   int64  // batched rounds in which this shard executed at least one event
+	stepsMark    uint64 // eng.Steps() at the last round boundary (busyRounds bookkeeping)
 
 	// diag is the shard's progress snapshot, published (atomically, once
 	// per epoch, only on armed runs) for the watchdog's diagnostics: a
@@ -220,14 +232,13 @@ type parState struct {
 	strands []*pstrand
 	pool    []*pstrand
 
-	runAhead  int64
-	globalMin int64 // merged at barriers; -1 once all strands retired
+	runAhead int64
 
-	w        sim.Time // epoch width
-	epochEnd sim.Time // end (exclusive) of the epoch being executed
-	epochs   int64
-	gen      int // mailbox generation being produced this epoch
-	done     bool
+	w       sim.Time // epoch width (conservative bound, or the relaxed override)
+	epochs  int64    // barrier rounds: serial merges (classic) or batched rounds
+	micro   int64    // epochs actually executed (= epochs when batching is off)
+	noBatch bool     // run the classic one-merge-per-epoch loop
+	done    bool
 
 	// Abort protocol (armed runs only — see RunShardedCtx). abort makes a
 	// single transition away from abortNone, set by the monitor goroutine;
@@ -290,6 +301,14 @@ func epochWidth(cfg Config) sim.Time {
 	return w
 }
 
+// EpochWidth reports the conservative epoch width this machine's sharded
+// engine derives from its configuration: the minimum latency by which any
+// cross-shard effect trails the event that sends it. ShardOptions.EpochWidth
+// values below this bound are rejected; values above it run relaxed.
+func (m *Machine) EpochWidth() sim.Time {
+	return epochWidth(m.cfg)
+}
+
 // Shardable reports whether this machine would run prog on the sharded
 // engine rather than falling back to the sequential one. The mapping's
 // bank->controller scan is memoized: the configuration is immutable for
@@ -347,11 +366,17 @@ func (m *Machine) RunShardedCtx(ctx context.Context, prog *trace.Program, opt Sh
 		// monitor goroutine's first scheduling slice against a short run.
 		return Result{}, &CancelError{Cause: context.Cause(ctx)}
 	}
+	if opt.EpochWidth != 0 {
+		if w := epochWidth(m.cfg); opt.EpochWidth < w {
+			return Result{}, fmt.Errorf("%w: requested width %d, conservative bound %d",
+				ErrEpochWidthTooNarrow, opt.EpochWidth, w)
+		}
+	}
 	if !m.Shardable(prog) {
 		return m.RunCtx(ctx, prog)
 	}
 	m.validateTeam(prog)
-	ps := m.preparePar(prog)
+	ps := m.preparePar(prog, opt)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -389,7 +414,7 @@ func (m *Machine) RunShardedCtx(ctx context.Context, prog *trace.Program, opt Sh
 }
 
 // preparePar builds or resets the sharded run state and seeds the strands.
-func (m *Machine) preparePar(prog *trace.Program) *parState {
+func (m *Machine) preparePar(prog *trace.Program, opt ShardOptions) *parState {
 	n := len(prog.Gens)
 	ps := m.pps
 	if ps == nil {
@@ -444,10 +469,23 @@ func (m *Machine) preparePar(prog *trace.Program) *parState {
 			sh.finish, sh.idleEpochs = 0, 0
 		}
 	}
-	ps.globalMin = 0
-	ps.epochEnd = ps.w
+	// Per-run epoch parameters: the relaxed width override and the batching
+	// mode are run options, so a cached parState re-derives them each run.
+	ps.w = epochWidth(m.cfg)
+	if opt.EpochWidth != 0 {
+		ps.w = opt.EpochWidth
+	}
+	ps.noBatch = opt.NoBatch
+	for _, sh := range ps.shards {
+		sh.gen = 0
+		sh.epochEnd = ps.w
+		sh.gmin = 0
+		sh.parkMin = -1
+		sh.busyRounds = 0
+		sh.stepsMark = 0
+	}
 	ps.epochs = 0
-	ps.gen = 0
+	ps.micro = 0
 	ps.done = false
 	ps.abort.Store(abortNone)
 	ps.armed = false
@@ -502,12 +540,14 @@ func (m *Machine) preparePar(prog *trace.Program) *parState {
 func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 	var cycles sim.Time
 	res := Result{
-		Label:      prog.Label,
-		Threads:    len(ps.strands),
-		Shards:     int64(len(ps.shards)),
-		EpochWidth: ps.w,
-		Epochs:     ps.epochs,
+		Label:         prog.Label,
+		Threads:       len(ps.strands),
+		Shards:        int64(len(ps.shards)),
+		EpochWidth:    ps.w,
+		Epochs:        ps.epochs,
+		BatchedEpochs: ps.micro,
 	}
+	var busy int64
 	for _, sh := range ps.shards {
 		if sh.finish > cycles {
 			cycles = sh.finish
@@ -520,6 +560,15 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 		res.RetryStall += sh.retryStall
 		res.Retries += sh.retries
 		res.BarrierStalls += sh.idleEpochs
+		if ps.noBatch {
+			busy += sh.epochsRun - sh.idleEpochs
+		} else {
+			busy += sh.busyRounds
+		}
+	}
+	res.BusyShardRounds = busy
+	if rounds := ps.epochs * int64(len(ps.shards)); rounds > 0 {
+		res.BusyShardPct = 100 * float64(busy) / float64(rounds)
 	}
 	if cycles == 0 {
 		cycles = 1
@@ -559,6 +608,10 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 // two paths perform the same per-shard operations on disjoint state in the
 // same per-shard order, which is the byte-identity argument.
 func (ps *parState) run(workers int) {
+	if !ps.noBatch {
+		ps.runBatched(workers)
+		return
+	}
 	if workers <= 1 {
 		for !ps.done && ps.abort.Load() == abortNone {
 			for _, sh := range ps.shards {
@@ -625,7 +678,7 @@ func (ps *parState) workerLoop(w, workers int, bar *spinBarrier) {
 func (sh *pshard) runEpoch() {
 	faults.ShardStall(int(sh.id), sh.epochsRun) // no-op unless injecting
 	steps := sh.eng.Steps()
-	sh.eng.RunUntil(sh.ps.epochEnd - 1)
+	sh.eng.RunUntil(sh.epochEnd - 1)
 	if sh.eng.Steps() == steps {
 		sh.idleEpochs++
 	}
@@ -633,7 +686,7 @@ func (sh *pshard) runEpoch() {
 	if sh.ps.armed {
 		sh.diag.epoch.Store(sh.epochsRun)
 		sh.diag.pending.Store(int64(sh.eng.Pending()))
-		sh.diag.mailbox.Store(int64(sh.outCount[sh.ps.gen]))
+		sh.diag.mailbox.Store(int64(sh.outCount[sh.gen]))
 		sh.diag.stalls.Store(sh.idleEpochs)
 	}
 }
@@ -705,7 +758,7 @@ func (ps *parState) watchdogError(wd time.Duration) *WatchdogError {
 // the resulting sequence numbers — and therefore all same-cycle
 // tie-breaks — independent of the worker count.
 func (sh *pshard) deliver() {
-	g := sh.ps.gen ^ 1
+	g := sh.gen ^ 1
 	for src := range sh.ps.shards {
 		from := sh.ps.shards[src]
 		box := from.out[g][sh.id]
@@ -723,7 +776,10 @@ func (sh *pshard) deliver() {
 // deterministic function of shard state in shard order.
 func (ps *parState) merge() {
 	ps.epochs++
+	ps.micro++
 	ps.progress.Store(ps.epochs) // watchdog heartbeat; readers are off-loop
+	end := ps.shards[0].epochEnd // every shard holds the same cursor
+	g := ps.shards[0].gen
 	if ps.runAhead > 0 {
 		gm := int64(-1)
 		for _, sh := range ps.shards {
@@ -731,26 +787,30 @@ func (ps *parState) merge() {
 				gm = sh.localMin
 			}
 		}
-		ps.globalMin = gm
 		for _, sh := range ps.shards {
+			sh.gmin = gm
 			if len(sh.parked) == 0 {
 				continue
 			}
 			kept := sh.parked[:0]
+			pm := int64(-1)
 			for _, id := range sh.parked {
 				s := ps.strands[id]
-				if ps.overWindow(s) {
+				if sh.overWindow(s) {
 					kept = append(kept, id)
+					if pm < 0 || s.items < pm {
+						pm = s.items
+					}
 					continue
 				}
 				s.parked = false
-				sh.eng.Schedule(ps.epochEnd, evPStep, id)
+				sh.eng.Schedule(end, evPStep, id)
 			}
 			sh.parked = kept
+			sh.parkMin = pm
 		}
 	}
 
-	g := ps.gen
 	pending := 0
 	var earliest sim.Time
 	has := false
@@ -777,12 +837,14 @@ func (ps *parState) merge() {
 	}
 	// Advance to the epoch containing the earliest pending event; skipping
 	// event-free epochs is a deterministic function of that timestamp.
-	start := ps.epochEnd
+	start := end
 	if earliest > start {
 		start += (earliest - start) / ps.w * ps.w
 	}
-	ps.epochEnd = start + ps.w
-	ps.gen ^= 1
+	for _, sh := range ps.shards {
+		sh.epochEnd = start + ps.w
+		sh.gen = g ^ 1
+	}
 }
 
 // spinBarrier is a sense-reversing barrier tuned for the short, frequent
@@ -858,10 +920,11 @@ func (sh *pshard) handle(kind sim.Kind, arg int32) {
 
 // overWindow reports whether the strand must park before starting another
 // item. The bound is checked against the global minimum of the last
-// barrier, which is never above the live minimum, so sharded strands park
-// at or before the point the sequential window would park them.
-func (ps *parState) overWindow(s *pstrand) bool {
-	return ps.runAhead > 0 && ps.globalMin >= 0 && s.items-ps.globalMin >= ps.runAhead
+// barrier (held in the shard's own gmin copy), which is never above the
+// live minimum, so sharded strands park at or before the point the
+// sequential window would park them.
+func (sh *pshard) overWindow(s *pstrand) bool {
+	return sh.ps.runAhead > 0 && sh.gmin >= 0 && s.items-sh.gmin >= sh.ps.runAhead
 }
 
 // advance runs one strand from its current local time until it blocks:
@@ -874,9 +937,12 @@ func (sh *pshard) advance(s *pstrand) {
 	t := s.t
 	for {
 		if !s.active {
-			if ps.overWindow(s) {
+			if sh.overWindow(s) {
 				s.parked = true
 				sh.parked = append(sh.parked, s.id)
+				if sh.parkMin < 0 || s.items < sh.parkMin {
+					sh.parkMin = s.items
+				}
 				return
 			}
 			s.item.Reset()
@@ -928,8 +994,8 @@ func (sh *pshard) advance(s *pstrand) {
 func (sh *pshard) sendReq(s *pstrand, line phys.Addr, write bool, t sim.Time) {
 	ps := sh.ps
 	when := t + ps.cfg.XbarLatency
-	if when < ps.epochEnd {
-		when = ps.epochEnd
+	if when < sh.epochEnd {
+		when = sh.epochEnd
 	}
 	msg := shardMsg{when: when, line: line, strand: s.id, kind: pmReq, write: write}
 	d := int32(ps.mc.Controller(line))
@@ -942,7 +1008,7 @@ func (sh *pshard) sendReq(s *pstrand, line phys.Addr, write bool, t sim.Time) {
 
 // send appends a message to the current generation's mailbox for shard d.
 func (sh *pshard) send(d int32, msg shardMsg) {
-	g := sh.ps.gen
+	g := sh.gen
 	if sh.outCount[g] == 0 || msg.when < sh.outMin[g] {
 		sh.outMin[g] = msg.when
 	}
@@ -1016,8 +1082,8 @@ func (sh *pshard) serveReq(arg int32, m *shardMsg) {
 		}
 		reply = shardMsg{when: dataAt + ps.cfg.XbarLatency, strand: m.strand, kind: pmLoadReply}
 	}
-	if reply.when < ps.epochEnd {
-		reply.when = ps.epochEnd
+	if reply.when < sh.epochEnd {
+		reply.when = sh.epochEnd
 	}
 	home := ps.strands[m.strand].home
 	sh.free = append(sh.free, arg)

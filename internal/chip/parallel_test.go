@@ -1,6 +1,8 @@
 package chip
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -68,6 +70,102 @@ func TestShardedWorkerInvariance(t *testing.T) {
 				t.Fatalf("fresh machine diverged from reused machine:\n got  %+v\n want %+v", fresh, ref)
 			}
 		})
+	}
+}
+
+// TestShardedBatchingEquivalence is the batched loop's core contract: the
+// decentralized boundary protocol (batch.go) executes exactly the same
+// micro-epochs in the same per-shard order as the classic
+// barrier-merge-barrier loop, so every simulation byte — and even the
+// micro-epoch and barrier-stall counts — must be identical with batching
+// on and off, at every worker count, on every topology. Only the
+// round-versus-merge bookkeeping (Epochs, BusyShard*) may differ.
+func TestShardedBatchingEquivalence(t *testing.T) {
+	for name, cfg := range shardedConfigs() {
+		t.Run(name, func(t *testing.T) {
+			m := New(cfg)
+			run := func(workers int, noBatch bool) Result {
+				if d := cfg.Mapping.Controllers(); workers > d {
+					workers = d
+				}
+				r, err := m.RunShardedCtx(context.Background(), marchingProg(16, 120),
+					ShardOptions{Workers: workers, NoBatch: noBatch})
+				if err != nil {
+					t.Fatalf("workers=%d noBatch=%v: %v", workers, noBatch, err)
+				}
+				if r.Shards == 0 {
+					t.Fatalf("workers=%d noBatch=%v unexpectedly fell back", workers, noBatch)
+				}
+				return r
+			}
+			ref := run(1, true)
+			if ref.Epochs != ref.BatchedEpochs {
+				t.Fatalf("classic loop: Epochs %d != BatchedEpochs %d", ref.Epochs, ref.BatchedEpochs)
+			}
+			norm := func(r Result) Result {
+				r.Epochs, r.BusyShardRounds, r.BusyShardPct = 0, 0, 0
+				return r
+			}
+			want := norm(ref)
+			for _, workers := range []int{1, 2, 4} {
+				for _, noBatch := range []bool{false, true} {
+					got := run(workers, noBatch)
+					if !noBatch && got.Epochs >= got.BatchedEpochs && got.BatchedEpochs > 1 {
+						t.Errorf("workers=%d: batched loop reports %d rounds for %d micro-epochs; rounds should be coarser",
+							workers, got.Epochs, got.BatchedEpochs)
+					}
+					if g := norm(got); !reflect.DeepEqual(g, want) {
+						t.Fatalf("workers=%d noBatch=%v diverged from classic workers=1:\n got  %+v\n want %+v",
+							workers, noBatch, g, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEpochWidthValidation pins the relaxed-width contract: widths
+// below the conservative bound are rejected up front, the bound itself is
+// accepted and behaves exactly like the default, and wider epochs stay
+// deterministic and worker-invariant even though their results differ.
+func TestShardedEpochWidthValidation(t *testing.T) {
+	cfg := t2cfg()
+	m := New(cfg)
+	w := m.EpochWidth()
+	if w < 2 {
+		t.Fatalf("EpochWidth() = %d; test needs a bound above 1", w)
+	}
+	_, err := m.RunShardedCtx(context.Background(), marchingProg(8, 40),
+		ShardOptions{Workers: 2, EpochWidth: w - 1})
+	if !errors.Is(err, ErrEpochWidthTooNarrow) {
+		t.Fatalf("width %d: err = %v, want ErrEpochWidthTooNarrow", w-1, err)
+	}
+	run := func(width int64, workers int) Result {
+		r, err := m.RunShardedCtx(context.Background(), marchingProg(8, 40),
+			ShardOptions{Workers: workers, EpochWidth: width})
+		if err != nil {
+			t.Fatalf("width %d workers %d: %v", width, workers, err)
+		}
+		return r
+	}
+	def := run(0, 2)
+	atBound := run(w, 2)
+	if !reflect.DeepEqual(def, atBound) {
+		t.Errorf("explicit width %d diverged from the default:\n got  %+v\n want %+v", w, atBound, def)
+	}
+	wide := run(2*w, 1)
+	if wide.EpochWidth != 2*w {
+		t.Errorf("EpochWidth = %d, want %d", wide.EpochWidth, 2*w)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(2*w, workers); !reflect.DeepEqual(got, wide) {
+			t.Errorf("relaxed width %d not worker-invariant at workers=%d:\n got  %+v\n want %+v", 2*w, workers, got, wide)
+		}
+	}
+	// The width is a per-run option: a cached machine must return to the
+	// conservative default when the override is dropped.
+	if again := run(0, 2); !reflect.DeepEqual(again, def) {
+		t.Errorf("default run after a relaxed run diverged:\n got  %+v\n want %+v", again, def)
 	}
 }
 

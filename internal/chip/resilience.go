@@ -26,6 +26,13 @@ import (
 // the unit of decomposition, and therefore the maximum useful parallelism.
 var ErrShardOversubscribed = errors.New("chip: shard workers exceed the machine's controller domains")
 
+// ErrEpochWidthTooNarrow is returned (wrapped, with both widths) when an
+// explicit ShardOptions.EpochWidth lies below the machine's conservative
+// bound: epochs narrower than the minimum cross-shard latency cannot
+// preserve the delivery invariant, so the request is a configuration error
+// rather than a stricter mode.
+var ErrEpochWidthTooNarrow = errors.New("chip: epoch width below the machine's conservative bound")
+
 // errStepBudget is the cancellation cause when an injected step budget
 // (faults.Plan.CancelStep), rather than the caller's context, halted the
 // engine.
@@ -93,6 +100,21 @@ type ShardOptions struct {
 	// an epoch for this long. 0 disables the watchdog (fault-free runs pay
 	// nothing for it).
 	Watchdog time.Duration
+	// EpochWidth overrides the epoch width. 0 (the default) derives the
+	// conservative bound from the machine (Machine.EpochWidth); a smaller
+	// value is an ErrEpochWidthTooNarrow error; a larger value runs relaxed
+	// wide epochs — cross-shard messages whose nominal arrival falls inside
+	// the wider epoch are clamped to its boundary, trading a bounded timing
+	// drift for fewer synchronization points. Relaxed results remain
+	// deterministic and worker-invariant but differ from conservative ones;
+	// they must never be mixed into byte-identity trajectories.
+	EpochWidth sim.Time
+	// NoBatch selects the classic loop: a full rendezvous (two spin
+	// barriers and a serial merge) per epoch instead of the decentralized
+	// batched exchange. Simulation output is byte-identical either way —
+	// the classic loop is retained as the reference the batched loop is
+	// differentially tested against, and as a fallback.
+	NoBatch bool
 }
 
 // cancelWatch couples a context (and, under fault injection, a

@@ -196,15 +196,17 @@ type Result struct {
 	FFCycles        int64 `json:"-"`
 	FFJumps         int64 `json:"-"`
 	FFSkippedEpochs int64 `json:"-"`
-	// Sharded-engine telemetry (chip.Result.Shards/EpochWidth/Epochs/
-	// BarrierStalls): how the run was partitioned, the epoch width it
-	// actually derived, and how often a shard reached an epoch barrier
-	// with nothing to execute. Deterministic descriptions of the
-	// computation, excluded from JSON like the rest of the telemetry.
-	Shards        int64 `json:"-"`
-	EpochWidth    int64 `json:"-"`
-	Epochs        int64 `json:"-"`
-	BarrierStalls int64 `json:"-"`
+	// Sharded-engine telemetry (the matching chip.Result fields): how the
+	// run was partitioned, the epoch width it actually used, how many
+	// synchronization rounds and micro-epochs it executed, and how busy the
+	// shards were. Deterministic descriptions of the computation, excluded
+	// from JSON like the rest of the telemetry.
+	Shards          int64 `json:"-"`
+	EpochWidth      int64 `json:"-"`
+	Epochs          int64 `json:"-"` // synchronization rounds (merges, or batched rounds)
+	BatchedEpochs   int64 `json:"-"` // micro-epochs executed (== Epochs without batching)
+	BarrierStalls   int64 `json:"-"`
+	BusyShardRounds int64 `json:"-"` // (shard, round) pairs that executed at least one event
 }
 
 // Scratch is a per-worker reuse arena. Every point a worker evaluates
@@ -353,23 +355,45 @@ func (o Outcome) FastForwardJumpTotals() (jumps, skipped int64) {
 	return jumps, skipped
 }
 
-// ShardTotals sums the sharded-engine telemetry over every point: epoch
-// barriers executed and barrier arrivals with no local work. shards and
-// width are the maximum domain count and epoch width seen (0 when every
-// point ran sequentially) — ground truth from the engine, not a mirror of
-// its derivation.
-func (o Outcome) ShardTotals() (shards, width, epochs, stalls int64) {
-	for _, pr := range o.Points {
-		if pr.Result.Shards > shards {
-			shards = pr.Result.Shards
-		}
-		if pr.Result.EpochWidth > width {
-			width = pr.Result.EpochWidth
-		}
-		epochs += pr.Result.Epochs
-		stalls += pr.Result.BarrierStalls
+// ShardTotals aggregates the sharded-engine telemetry over a sweep.
+// Shards and Width are the maximum domain count and epoch width seen (0
+// when every point ran sequentially) — ground truth from the engine, not a
+// mirror of its derivation; the counters are sums over all points.
+type ShardTotals struct {
+	Shards        int64 // max controller domains over the points
+	Width         int64 // max epoch width over the points
+	Epochs        int64 // synchronization rounds executed
+	BatchedEpochs int64 // micro-epochs executed
+	Stalls        int64 // (shard, micro-epoch) pairs with no local work
+	BusyRounds    int64 // (shard, round) pairs that executed at least one event
+}
+
+// BusyShardPct is the sweep-level busy-shard percentage: of all
+// (shard, synchronization round) pairs, how many saw the shard execute at
+// least one event. 0 when nothing ran sharded.
+func (t ShardTotals) BusyShardPct() float64 {
+	if t.Shards == 0 || t.Epochs == 0 {
+		return 0
 	}
-	return shards, width, epochs, stalls
+	return 100 * float64(t.BusyRounds) / float64(t.Shards*t.Epochs)
+}
+
+// ShardTotals sums the sharded-engine telemetry over every point.
+func (o Outcome) ShardTotals() ShardTotals {
+	var t ShardTotals
+	for _, pr := range o.Points {
+		if pr.Result.Shards > t.Shards {
+			t.Shards = pr.Result.Shards
+		}
+		if pr.Result.EpochWidth > t.Width {
+			t.Width = pr.Result.EpochWidth
+		}
+		t.Epochs += pr.Result.Epochs
+		t.BatchedEpochs += pr.Result.BatchedEpochs
+		t.Stalls += pr.Result.BarrierStalls
+		t.BusyRounds += pr.Result.BusyShardRounds
+	}
+	return t
 }
 
 // JSON marshals the outcome canonically (indented, map keys sorted by
