@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet build test test-race test-faults test-full bench bench-smoke bench-diff shard-smoke figures clean
+.PHONY: ci fmt vet build test test-race test-faults test-full bench bench-smoke bench-diff shard-smoke daemon-smoke figures clean
 
 # ci is the tier the workflow runs: formatting, static checks, build, and
 # the fast test tier (slow shape sweeps are skipped under -short).
@@ -90,6 +90,15 @@ shard-smoke:
 	@echo "== fig4 slice, sharded engine (4 workers) =="
 	time $(GO) run ./cmd/figures -scale small -fig 4 -jobs 1 -shards 4 -json=false -out shard-smoke-out
 	rm -rf shard-smoke-out
+
+# daemon-smoke boots the t2simd service daemon end to end: submit a small
+# fig2 sweep twice over HTTP, assert the repeat is a cache hit and that
+# both responses are byte-identical to the BENCH_fig2.json cmd/figures
+# writes for the same sweep, then SIGTERM and assert a clean drain
+# (exit 0). This is the daemon's headline contract executed for real —
+# listener, cache, fingerprint and signal path included.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # figures regenerates the paper-scale figures in parallel.
 figures:

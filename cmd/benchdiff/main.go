@@ -29,10 +29,16 @@
 // prints a per-benchmark delta table of every gated metric so the
 // regression is locatable without re-running anything.
 //
-// Exit codes separate the failure classes so CI can react differently
-// to each: 0 clean, 1 gated regression, 2 flag misuse, 3 a trajectory
-// file is missing (run `make bench` to generate it), 4 a trajectory
-// file exists but is corrupt or carries no benchmarks.
+// Exit codes separate the failure classes so CI can react differently to
+// each (see doc.go for the repo-wide conventions — 0/1/2 follow them; 3
+// and 4 are this tool's input-availability classes, distinct so "generate
+// the baseline" and "repair the baseline" are different CI reactions):
+//
+//	0  clean comparison, no gated regression
+//	1  gated regression (throughput, ff-coverage or allocs/op)
+//	2  flag misuse
+//	3  a trajectory file is missing (run `make bench` to generate it)
+//	4  a trajectory file exists but is corrupt or carries no benchmarks
 package main
 
 import (

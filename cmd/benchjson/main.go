@@ -12,6 +12,13 @@
 // When a benchmark appears several times (-count > 1), its metrics are
 // averaged. The JSON is canonical (indented, keys sorted), so identical
 // sweeps diff cleanly across commits.
+//
+// Exit codes (see doc.go for the repo-wide conventions):
+//
+//	0  conversion written
+//	1  runtime failure: unreadable input, no benchmark lines, unwritable
+//	   output
+//	2  flag misuse
 package main
 
 import (

@@ -44,6 +44,14 @@
 // and exits, so scenarios are discoverable without reading source.
 // -cpuprofile and -memprofile write pprof profiles covering the sweeps,
 // so performance claims about the simulator can be grounded in data.
+//
+// Exit codes (see doc.go for the repo-wide conventions):
+//
+//	0  figures regenerated; every selected shape check passed or was skipped
+//	1  runtime failure: simulation error, unwritable output, shape-check FAIL
+//	2  flag misuse: unknown figure, scale or machine; shard or epoch-width
+//	   misconfiguration
+//	3  -timeout expired before the regeneration finished
 package main
 
 import (

@@ -19,6 +19,13 @@
 // experiment on the internal/exp worker pool: predicted relative bandwidth
 // and regime for every COMMON-block offset, no simulation involved — the
 // engine is agnostic to what a point evaluates.
+//
+// Exit codes (see doc.go for the repo-wide conventions):
+//
+//	0  plan or sweep completed
+//	1  runtime failure: analyzer sweep error, unwritable -json output
+//	2  usage or flag misuse (unknown subcommand, machine or flag value)
+//	3  -timeout expired before the sweep finished
 package main
 
 import (

@@ -22,6 +22,14 @@
 // registry (t2, t2-1mc, t2-2mc, mc8, t2-wide1k, t2-wide4k, xor, single);
 // placement planning (jacobi -opt) follows the selected profile's
 // interleave automatically.
+//
+// Exit codes (see doc.go for the repo-wide conventions):
+//
+//	0  run or sweep completed
+//	1  runtime failure: simulation error, unwritable -json output
+//	2  flag misuse: unknown kernel, machine, schedule, layout or sweep
+//	   axis; shard or epoch-width misconfiguration
+//	3  -timeout expired before the run or sweep finished
 package main
 
 import (
@@ -258,7 +266,7 @@ func runSingle(ctx context.Context, prof machine.Profile, cfg chip.Config, p par
 		if errors.As(err, &ce) {
 			failTimeout(err)
 		}
-		fail("%v", err)
+		failRun("%v", err)
 	}
 
 	fmt.Printf("machine:   %s (%s)\n", prof.Name, prof.Doc)
@@ -368,12 +376,30 @@ func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base p
 			}, nil
 		},
 	}
+	// Validate the point builder against the first axis value before
+	// fanning out: an unknown kernel/schedule/layout is flag misuse (2),
+	// not a per-point runtime failure.
+	probe := base
+	switch axis {
+	case "offset":
+		probe.offset = lo
+	case "arrayoffset":
+		probe.arrayOffset = lo
+	case "n":
+		probe.n = lo
+	case "threads":
+		probe.threads = int(lo)
+	}
+	if _, err := probe.build(cfg); err != nil {
+		fail("%v", err)
+	}
+
 	out, err := exp.Runner{Jobs: jobs}.RunContext(ctx, e)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			failTimeout(err)
 		}
-		fail("%v", err)
+		failRun("%v", err)
 	}
 
 	fmt.Printf("%12s %12s %12s %12s %10s\n", axis, "GB/s", "actual-GB/s", "MUP/s", "balance")
@@ -382,15 +408,25 @@ func runSweep(ctx context.Context, prof machine.Profile, cfg chip.Config, base p
 			pr.Result.X, pr.Result.Y, pr.Result.Metrics["actual_gbps"],
 			pr.Result.Metrics["mups"], pr.Result.Metrics["balance"])
 	}
+	if out.Retries > 0 || out.PointErrors > 0 {
+		fmt.Printf("resilience: %d retries, %d point errors, %d watchdog trips\n",
+			out.Retries, out.PointErrors, out.WatchdogTrips)
+	}
 
 	if jsonOut != "" {
 		if err := out.WriteJSON(jsonOut); err != nil {
-			fail("%v", err)
+			failRun("%v", err)
 		}
 	}
 }
 
+// fail reports flag misuse (exit 2); failRun a runtime failure (exit 1).
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "t2sim: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+func failRun(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "t2sim: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,71 @@
+package exp
+
+import "sync"
+
+// ScratchPool is a bounded free list of worker arenas shared across
+// sweeps. A Runner normally builds one fresh Scratch per worker per
+// sweep, which is right for one-shot CLIs but wasteful for a long-running
+// service that executes many sweeps over the same machine configurations:
+// every sweep would rebuild its chip.Machines (megabytes of tag arrays)
+// from scratch. A pool lets consecutive sweeps reuse the arenas instead —
+// a worker checks a Scratch out for the duration of one sweep and returns
+// it afterwards, so the cached machines and recycled programs inside
+// survive across requests.
+//
+// Correctness rests on the same bargain Scratch itself documents: a
+// checked-out Scratch is owned by exactly one worker goroutine (the pool
+// guarantees exclusivity), and everything cached inside is
+// reset-on-reuse by construction, so a pooled sweep produces
+// byte-identical results to a fresh one (pinned by TestScratchPoolReuse).
+//
+// Max bounds how many idle arenas the pool retains; returns beyond the
+// bound are dropped for the garbage collector, so a burst of wide sweeps
+// cannot permanently pin its high-water memory mark. Max <= 0 retains
+// nothing (every Put drops), which degrades to the fresh-per-sweep
+// behavior.
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*Scratch
+	max  int
+}
+
+// NewScratchPool returns a pool retaining at most max idle arenas.
+func NewScratchPool(max int) *ScratchPool {
+	return &ScratchPool{max: max}
+}
+
+// Get checks an arena out of the pool, building a fresh one when the pool
+// is empty. The caller owns it exclusively until Put.
+func (p *ScratchPool) Get() *Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		sc := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return sc
+	}
+	return &Scratch{}
+}
+
+// Put returns an arena to the pool, dropping it if the pool is full. The
+// sweep's context is cleared so a retained arena never pins a finished
+// request's context alive.
+func (p *ScratchPool) Put(sc *Scratch) {
+	if sc == nil {
+		return
+	}
+	sc.Ctx = nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, sc)
+	}
+}
+
+// Idle reports how many arenas are currently checked in.
+func (p *ScratchPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -25,10 +25,15 @@ import (
 // watchdog trip on a loaded host), never masks a harness bug — a point
 // that fails deterministically fails all its attempts identically. Backoff
 // is the pause before the first retry, doubling each further attempt.
+// Pool, when set, supplies the workers' Scratch arenas from a shared
+// bounded free list instead of building one per worker per sweep, so a
+// long-running caller (the t2simd service) reuses cached machines across
+// sweeps. Nil keeps the one-shot behavior.
 type Runner struct {
 	Jobs    int
 	Retries int
 	Backoff time.Duration
+	Pool    *ScratchPool
 }
 
 // PointError is one point's terminal failure: which experiment and point,
@@ -94,7 +99,15 @@ func (r Runner) RunContext(ctx context.Context, e Experiment) (Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := &Scratch{Ctx: ctx} // per-worker: cached machines/programs are never shared
+			// Per-worker arena: cached machines/programs are never shared
+			// between concurrent workers. With a pool the arena is checked
+			// out for this sweep only and returned (context cleared) after.
+			sc := &Scratch{}
+			if r.Pool != nil {
+				sc = r.Pool.Get()
+				defer r.Pool.Put(sc)
+			}
+			sc.Ctx = ctx
 			for i := range work {
 				if ctx.Err() != nil {
 					continue // drain without evaluating

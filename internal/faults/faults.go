@@ -70,7 +70,23 @@ type Plan struct {
 	// reproducible point.
 	CancelStep uint64
 
-	stallsDone atomic.Int64
+	// Service tier (hooks: RequestFault, CacheCorrupt, ServiceStall —
+	// called by internal/service, the t2simd daemon's engine room).
+	// PanicRequests lists 1-based request ordinals whose handler panics
+	// mid-request; the server must convert each to a 500 and keep serving.
+	// CorruptCachePuts corrupts the stored payload of that many leading
+	// result-cache insertions after their checksum is recorded, so the
+	// cache's integrity check must reject the entry on the next read —
+	// corrupt bytes are never served, they are recomputed. ServiceStallFor
+	// stalls every admitted sweep before it executes (cancellably: the
+	// stall aborts with the request's context), which is how tests wedge a
+	// worker during drain and assert the drain deadline still cancels it.
+	PanicRequests    []int
+	CorruptCachePuts int
+	ServiceStallFor  time.Duration
+
+	stallsDone   atomic.Int64
+	corruptsDone atomic.Int64
 }
 
 // failAttempts returns the number of leading attempts that fail for a
@@ -128,29 +144,38 @@ func (p *Plan) CancelStepIn(lo, hi uint64) uint64 {
 // Counters tallies injections and is the test oracle for "every injected
 // fault was observed by the recovery path it targets".
 type Counters struct {
-	PointPanics int64 // injected panics delivered
-	PointFails  int64 // injected transient errors returned
-	FFDeclines  int64 // validated fast-forward jumps forcibly declined
-	ShardStalls int64 // shard epoch delays injected
-	StepCancels int64 // engine halts caused by an armed step budget
+	PointPanics      int64 // injected panics delivered
+	PointFails       int64 // injected transient errors returned
+	FFDeclines       int64 // validated fast-forward jumps forcibly declined
+	ShardStalls      int64 // shard epoch delays injected
+	StepCancels      int64 // engine halts caused by an armed step budget
+	RequestPanics    int64 // injected mid-request handler panics
+	CacheCorruptions int64 // cache entries corrupted after insertion
+	ServiceStalls    int64 // sweep executions stalled before running
 }
 
 var counters struct {
-	pointPanics atomic.Int64
-	pointFails  atomic.Int64
-	ffDeclines  atomic.Int64
-	shardStalls atomic.Int64
-	stepCancels atomic.Int64
+	pointPanics      atomic.Int64
+	pointFails       atomic.Int64
+	ffDeclines       atomic.Int64
+	shardStalls      atomic.Int64
+	stepCancels      atomic.Int64
+	requestPanics    atomic.Int64
+	cacheCorruptions atomic.Int64
+	serviceStalls    atomic.Int64
 }
 
 // Stats returns a snapshot of the injection counters.
 func Stats() Counters {
 	return Counters{
-		PointPanics: counters.pointPanics.Load(),
-		PointFails:  counters.pointFails.Load(),
-		FFDeclines:  counters.ffDeclines.Load(),
-		ShardStalls: counters.shardStalls.Load(),
-		StepCancels: counters.stepCancels.Load(),
+		PointPanics:      counters.pointPanics.Load(),
+		PointFails:       counters.pointFails.Load(),
+		FFDeclines:       counters.ffDeclines.Load(),
+		ShardStalls:      counters.shardStalls.Load(),
+		StepCancels:      counters.stepCancels.Load(),
+		RequestPanics:    counters.requestPanics.Load(),
+		CacheCorruptions: counters.cacheCorruptions.Load(),
+		ServiceStalls:    counters.serviceStalls.Load(),
 	}
 }
 
@@ -161,4 +186,7 @@ func ResetStats() {
 	counters.ffDeclines.Store(0)
 	counters.shardStalls.Store(0)
 	counters.stepCancels.Store(0)
+	counters.requestPanics.Store(0)
+	counters.cacheCorruptions.Store(0)
+	counters.serviceStalls.Store(0)
 }

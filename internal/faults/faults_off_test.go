@@ -2,7 +2,10 @@
 
 package faults
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestProductionBuildIsInert pins the production contract: without the
 // faultinject tag the hooks are free no-ops and BuildEnabled says so, so
@@ -19,6 +22,11 @@ func TestProductionBuildIsInert(t *testing.T) {
 		t.Fatal("FFDecline returned true")
 	}
 	ShardStall(0, 0)
+	RequestFault(1)
+	if CacheCorrupt() {
+		t.Fatal("CacheCorrupt returned true")
+	}
+	ServiceStall(context.Background())
 	if CancelStep() != 0 {
 		t.Fatal("CancelStep returned nonzero")
 	}

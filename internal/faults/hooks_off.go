@@ -2,6 +2,8 @@
 
 package faults
 
+import "context"
+
 // BuildEnabled reports whether this binary was built with the faultinject
 // tag and can therefore inject faults at all.
 const BuildEnabled = false
@@ -17,6 +19,15 @@ func FFDecline() bool { return false }
 
 // ShardStall injects nothing in a production build.
 func ShardStall(shard int, epoch int64) {}
+
+// RequestFault injects nothing in a production build.
+func RequestFault(ordinal int) {}
+
+// CacheCorrupt injects nothing in a production build.
+func CacheCorrupt() bool { return false }
+
+// ServiceStall injects nothing in a production build.
+func ServiceStall(ctx context.Context) {}
 
 // CancelStep injects nothing in a production build.
 func CancelStep() uint64 { return 0 }

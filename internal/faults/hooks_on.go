@@ -3,6 +3,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,52 @@ func ShardStall(shard int, epoch int64) {
 	}
 	counters.shardStalls.Add(1)
 	time.Sleep(p.StallFor)
+}
+
+// RequestFault is the service handler's per-request hook: it panics
+// mid-request for the listed 1-based request ordinals, exercising the
+// daemon's handler-level recovery (500 response, server keeps serving).
+func RequestFault(ordinal int) {
+	p := armed.Load()
+	if p == nil || !contains(p.PanicRequests, ordinal) {
+		return
+	}
+	counters.requestPanics.Add(1)
+	panic(fmt.Sprintf("faults: injected panic in request %d (seed %#x)", ordinal, p.Seed))
+}
+
+// CacheCorrupt is the result cache's post-insert hook: true tells the
+// cache to flip a byte of the stored payload (after its checksum was
+// recorded), so the integrity check must reject the entry on its next
+// read instead of serving corrupt bytes.
+func CacheCorrupt() bool {
+	p := armed.Load()
+	if p == nil || p.CorruptCachePuts <= 0 {
+		return false
+	}
+	if p.corruptsDone.Add(1) > int64(p.CorruptCachePuts) {
+		return false
+	}
+	counters.cacheCorruptions.Add(1)
+	return true
+}
+
+// ServiceStall is the service executor's pre-run hook: it stalls an
+// admitted sweep for the plan's ServiceStallFor before the simulation
+// starts, aborting early if the request's context dies — the wedge that
+// drain-deadline tests must cut through.
+func ServiceStall(ctx context.Context) {
+	p := armed.Load()
+	if p == nil || p.ServiceStallFor <= 0 {
+		return
+	}
+	counters.serviceStalls.Add(1)
+	t := time.NewTimer(p.ServiceStallFor)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // CancelStep returns the armed step budget for the sequential engine

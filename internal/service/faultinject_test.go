@@ -1,0 +1,137 @@
+//go:build faultinject
+
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/chip"
+	"repro/internal/exp"
+	"repro/internal/faults"
+)
+
+// quickRegistry is a one-figure registry whose sweep completes instantly —
+// the service-tier injections (request panic, cache corruption, stall)
+// happen around the simulation, not inside it.
+func quickRegistry() Registry {
+	return unitRegistry(1, func(_ chip.Config, p exp.Point, sc *exp.Scratch) (exp.Result, error) {
+		return exp.Result{Series: "s", X: float64(p.Int("k")), Y: 1}, nil
+	})
+}
+
+// TestInjectedRequestPanicIsOneFailedRequest: an injected handler panic
+// must become a 500 for that one request, and the very next request must
+// be served normally — a panic is one failed request, never a dead server.
+func TestInjectedRequestPanicIsOneFailedRequest(t *testing.T) {
+	faults.Arm(&faults.Plan{Seed: 0xDEAD, PanicRequests: []int{1}})
+	defer faults.Disarm()
+
+	s := New(Config{Registry: quickRegistry()})
+	h := s.Handler()
+
+	first := postSweep(h, nil, `{"figure":"unit0"}`)
+	if first.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request: %d %s, want 500", first.Code, first.Body.String())
+	}
+	var e map[string]string
+	if err := json.Unmarshal(first.Body.Bytes(), &e); err != nil || e["class"] != "internal" {
+		t.Errorf("panic response body %s, want class internal", first.Body.String())
+	}
+
+	second := postSweep(h, nil, `{"figure":"unit0"}`)
+	if second.Code != http.StatusOK {
+		t.Fatalf("request after panic: %d %s, want 200 (server must keep serving)", second.Code, second.Body.String())
+	}
+	if got := faults.Stats().RequestPanics; got != 1 {
+		t.Errorf("injected request panics = %d, want 1", got)
+	}
+	if got := s.m.requestPanics.Load(); got != 1 {
+		t.Errorf("recovered request panics = %d, want 1", got)
+	}
+}
+
+// TestInjectedCacheCorruptionIsNeverServed: a cache entry corrupted after
+// insertion must be rejected by the checksum on the next lookup and the
+// sweep recomputed — the client sees correct bytes both times, never the
+// corrupt ones, and the recomputed (clean) entry then serves hits again.
+func TestInjectedCacheCorruptionIsNeverServed(t *testing.T) {
+	faults.Arm(&faults.Plan{Seed: 0xBADCAFE, CorruptCachePuts: 1})
+	defer faults.Disarm()
+
+	s := New(Config{Registry: quickRegistry()})
+	h := s.Handler()
+	body := `{"figure":"unit0"}`
+
+	first := postSweep(h, nil, body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", first.Code, first.Body.String())
+	}
+
+	// The cached copy is now corrupt; the served bytes above were not
+	// (Put stores a copy). The repeat must reject the entry and recompute.
+	second := postSweep(h, nil, body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request: %d %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-T2simd-Cache"); got != "miss" {
+		t.Errorf("request against corrupt entry reported cache %q, want miss (rejected, recomputed)", got)
+	}
+	if !bytes.Equal(second.Body.Bytes(), first.Body.Bytes()) {
+		t.Error("recomputed response differs from the original — corruption leaked")
+	}
+	if got := s.cache.Stats().CorruptionsRejected; got != 1 {
+		t.Errorf("corruptions rejected = %d, want 1", got)
+	}
+	if got := s.m.executions.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (the corrupt entry forced a recompute)", got)
+	}
+	if got := faults.Stats().CacheCorruptions; got != 1 {
+		t.Errorf("injected corruptions = %d, want 1", got)
+	}
+
+	// The recompute stored a clean entry (the plan corrupts only one Put).
+	third := postSweep(h, nil, body)
+	if got := third.Header().Get("X-T2simd-Cache"); third.Code != http.StatusOK || got != "hit" {
+		t.Errorf("third request: %d cache=%q, want 200 hit", third.Code, got)
+	}
+	if !bytes.Equal(third.Body.Bytes(), first.Body.Bytes()) {
+		t.Error("post-recompute hit served different bytes")
+	}
+}
+
+// TestDrainDeadlineCutsStalledWorker: a worker wedged before its sweep
+// even starts (the injected stall) must still be cut by the drain
+// deadline — the stall aborts with the server's lifecycle context, the
+// client gets the draining class, and Drain returns promptly.
+func TestDrainDeadlineCutsStalledWorker(t *testing.T) {
+	faults.Arm(&faults.Plan{Seed: 0x57A11, ServiceStallFor: time.Minute})
+	defer faults.Disarm()
+
+	s := New(Config{Registry: quickRegistry()})
+	h := s.Handler()
+
+	done := make(chan int, 1)
+	go func() { done <- postSweep(h, nil, `{"figure":"unit0"}`).Code }()
+	waitFor(t, "worker to stall in-flight", func() bool { return s.inflight.Load() == 1 })
+
+	start := time.Now()
+	if s.Drain(50 * time.Millisecond) {
+		t.Error("Drain reported clean despite cancelling a stalled worker")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Drain took %s against a 1-minute stall; the deadline did not cut it", elapsed)
+	}
+	if code := <-done; code != http.StatusServiceUnavailable {
+		t.Errorf("stalled sweep's client got %d, want 503", code)
+	}
+	if got := faults.Stats().ServiceStalls; got != 1 {
+		t.Errorf("injected service stalls = %d, want 1", got)
+	}
+	if got := s.inflight.Load(); got != 0 {
+		t.Errorf("inflight = %d after drain, want 0", got)
+	}
+}

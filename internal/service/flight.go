@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent executions of the same fingerprint:
+// the first caller for a key becomes the leader and runs the function;
+// every concurrent duplicate waits for the leader's result instead of
+// paying for its own simulation. The leader's function runs in its own
+// goroutine, detached from any single caller's context — if the leader's
+// client disconnects, the computation keeps going for the followers (and
+// for the cache), and only the disconnected caller gets a cancellation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	b    []byte
+	err  error
+}
+
+// Do returns fn's result for key, coalescing concurrent callers. shared
+// reports whether this caller rode on another caller's execution. A
+// caller whose ctx dies stops waiting (its error is the context's), but
+// the execution itself is unaffected.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (b []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.b, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			// A panic in fn must not strand the followers on a never-closed
+			// channel; convert it to an error for everyone.
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("service: panic during coalesced execution: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.b, c.err = fn()
+	}()
+
+	select {
+	case <-c.done:
+		return c.b, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# daemon_smoke.sh — end-to-end smoke of the t2simd service daemon
+# (`make daemon-smoke`, wired into CI):
+#
+#   1. regenerate the reference BENCH_fig2.json with cmd/figures;
+#   2. start t2simd on an ephemeral port;
+#   3. submit the same small fig2 sweep twice over HTTP and assert the
+#      first response is a cache miss, the second a cache hit, and both
+#      are byte-identical to each other AND to the cmd/figures output —
+#      the daemon's headline contract;
+#   4. SIGTERM the daemon and assert it drains cleanly with exit 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+    rm -rf "$dir"
+    return 0
+}
+trap cleanup EXIT
+
+echo "== reference trajectory via cmd/figures =="
+$GO run ./cmd/figures -scale small -fig 2 -jobs 2 -out "$dir/ref" >/dev/null
+
+echo "== build and start t2simd on an ephemeral port =="
+$GO build -o "$dir/t2simd" ./cmd/t2simd
+"$dir/t2simd" -addr 127.0.0.1:0 -addr-file "$dir/addr" -jobs 2 &
+pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$dir/addr" ] && break
+    sleep 0.1
+done
+[ -s "$dir/addr" ] || { echo "daemon-smoke: t2simd never wrote its address"; exit 1; }
+addr=$(cat "$dir/addr")
+
+curl -fsS "http://$addr/healthz" >/dev/null
+curl -fsS "http://$addr/readyz" >/dev/null
+
+body='{"figure":"fig2","scale":"small"}'
+
+echo "== first submission (expect cache miss) =="
+curl -fsS -D "$dir/h1" -o "$dir/r1.json" -X POST -d "$body" "http://$addr/v1/sweep"
+grep -qi "^x-t2simd-cache: miss" "$dir/h1" || { echo "daemon-smoke: first response was not a miss"; cat "$dir/h1"; exit 1; }
+
+echo "== second submission (expect cache hit) =="
+curl -fsS -D "$dir/h2" -o "$dir/r2.json" -X POST -d "$body" "http://$addr/v1/sweep"
+grep -qi "^x-t2simd-cache: hit" "$dir/h2" || { echo "daemon-smoke: second response was not a hit"; cat "$dir/h2"; exit 1; }
+
+echo "== byte-identity: repeat vs first, first vs cmd/figures =="
+cmp "$dir/r1.json" "$dir/r2.json"
+cmp "$dir/r1.json" "$dir/ref/BENCH_fig2.json"
+
+echo "== metrics =="
+curl -fsS "http://$addr/metrics" | grep -E "t2simd_(requests_total|executions_total|cache_hits_total|cache_hit_rate)"
+
+echo "== SIGTERM drain (expect exit 0) =="
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { echo "daemon-smoke: t2simd exited $rc, want 0"; exit 1; }
+
+echo "daemon-smoke: ok"
