@@ -43,6 +43,9 @@ type simTotals struct {
 	microEp    int64
 	stalls     int64
 	busyRounds int64
+	specEp     int64
+	specCommit int64
+	specRoll   int64
 
 	// Robustness telemetry (exp.Outcome's resilience counters plus directly
 	// observed watchdog trips). Zero on every fault-free sweep, so the
@@ -83,6 +86,9 @@ func (st *simTotals) fold(out exp.Outcome) {
 	st.microEp += t.BatchedEpochs
 	st.stalls += t.Stalls
 	st.busyRounds += t.BusyRounds
+	st.specEp += t.SpecEpochs
+	st.specCommit += t.SpecCommits
+	st.specRoll += t.SpecRollbacks
 	st.retries += out.Retries
 	st.pointErrors += out.PointErrors
 	st.watchdogTrips += out.WatchdogTrips
@@ -120,6 +126,16 @@ func (st *simTotals) report(b *testing.B) {
 		b.ReportMetric(float64(st.stalls)/secs, "barrier-stalls/s")
 		if st.epochs > 0 {
 			b.ReportMetric(100*float64(st.busyRounds)/float64(st.shards*st.epochs), "busy-shard-%")
+		}
+		if st.specCommit > 0 || st.specRoll > 0 {
+			// Speculation telemetry (informational, never gated — like
+			// epoch-width): micro-epochs executed inside committed bursts per
+			// iteration, the fraction of bursts that validated, and rollbacks
+			// per wallclock second. Non-speculative sweeps attempt no bursts
+			// and report none of this, keeping their metric sets unchanged.
+			b.ReportMetric(float64(st.specEp)/float64(b.N), "spec-epochs")
+			b.ReportMetric(100*float64(st.specCommit)/float64(st.specCommit+st.specRoll), "spec-commit-%")
+			b.ReportMetric(float64(st.specRoll)/secs, "rollbacks/s")
 		}
 	}
 	if st.retries > 0 || st.pointErrors > 0 || st.watchdogTrips > 0 || st.cancelMS > 0 {
@@ -209,6 +225,7 @@ func BenchmarkFig6Jacobi(b *testing.B) {
 func BenchmarkFig4ShardedEngine(b *testing.B) {
 	o := bench.Small()
 	o.Shards = exp.ShardBudget(-1, 0)
+	o.Speculate = true // execution budget only: results identical, spec-* telemetry recorded
 	var st simTotals
 	for i := 0; i < b.N; i++ {
 		st.run(o.Fig4Exp())
@@ -223,6 +240,7 @@ func BenchmarkFig4ShardedEngine(b *testing.B) {
 func BenchmarkFig6ShardedEngine(b *testing.B) {
 	o := bench.Small()
 	o.Shards = exp.ShardBudget(-1, 0)
+	o.Speculate = true
 	var st simTotals
 	for i := 0; i < b.N; i++ {
 		st.run(o.Fig6Exp())

@@ -1,0 +1,76 @@
+package cache
+
+import "fmt"
+
+// BankImage is a checkpoint of a contiguous bank range's tag store and
+// counters. It is the sharded engine's speculation checkpoint: each shard
+// owns a contiguous bank span, and rolling back a failed speculative burst
+// must restore exactly that span — tag contents, LRU stamps, per-bank
+// clocks, and the per-bank counters — without touching the banks other
+// shards own and without allocating on the checkpoint hot path
+// (SnapshotBanksInto reuses the image's capacity).
+//
+// The install-version counters (vers) are deliberately excluded, exactly as
+// they are from the full-cache Image: versions are monotonic freshness
+// guards, not timing state. After a rollback a version that ran ahead can
+// only make a cached miss-probe look stale, forcing a re-probe against the
+// restored tags — which returns the identical outcome the checkpointed
+// probe would have. Restoring versions backwards, by contrast, could make a
+// genuinely stale probe look fresh.
+type BankImage struct {
+	lo, hi       int // bank range [lo, hi)
+	tags, used   []uint64
+	valid, dirty []uint64
+	ptags        []uint64
+	clocks       []uint64
+	stats        []Stats
+}
+
+func cpWords(dst *[]uint64, src []uint64) {
+	if cap(*dst) < len(src) {
+		*dst = make([]uint64, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+// SnapshotBanksInto captures banks [lo, hi) into img, reusing img's
+// capacity. The counters are captured alongside the tag store because a
+// speculative rollback must rewind both together.
+func (c *Banked) SnapshotBanksInto(lo, hi int, img *BankImage) {
+	if lo < 0 || hi > c.cfg.Banks || lo >= hi {
+		panic(fmt.Sprintf("cache: bank snapshot range [%d,%d) outside %d banks", lo, hi, c.cfg.Banks))
+	}
+	img.lo, img.hi = lo, hi
+	setLo, setHi := lo*c.setsPerBank, hi*c.setsPerBank
+	cpWords(&img.tags, c.tags[setLo*c.cfg.Ways:setHi*c.cfg.Ways])
+	cpWords(&img.used, c.used[setLo*c.cfg.Ways:setHi*c.cfg.Ways])
+	cpWords(&img.valid, c.valid[setLo:setHi])
+	cpWords(&img.dirty, c.dirty[setLo:setHi])
+	cpWords(&img.ptags, c.ptags[setLo*c.ptagStride:setHi*c.ptagStride])
+	cpWords(&img.clocks, c.clocks[lo:hi])
+	if cap(img.stats) < hi-lo {
+		img.stats = make([]Stats, hi-lo)
+	}
+	img.stats = img.stats[:hi-lo]
+	copy(img.stats, c.bankStats[lo:hi])
+}
+
+// RestoreBanks overwrites the image's bank range — tag store, clocks, and
+// counters — with the checkpointed contents, leaving every other bank (and
+// all install versions) untouched. The cache geometry must match the one
+// the image was taken from.
+func (c *Banked) RestoreBanks(img *BankImage) {
+	lo, hi := img.lo, img.hi
+	setLo, setHi := lo*c.setsPerBank, hi*c.setsPerBank
+	if hi > c.cfg.Banks || len(img.valid) != setHi-setLo || len(img.tags) != (setHi-setLo)*c.cfg.Ways {
+		panic(fmt.Sprintf("cache: restoring bank image [%d,%d) with %d sets into mismatched cache", lo, hi, len(img.valid)))
+	}
+	copy(c.tags[setLo*c.cfg.Ways:setHi*c.cfg.Ways], img.tags)
+	copy(c.used[setLo*c.cfg.Ways:setHi*c.cfg.Ways], img.used)
+	copy(c.valid[setLo:setHi], img.valid)
+	copy(c.dirty[setLo:setHi], img.dirty)
+	copy(c.ptags[setLo*c.ptagStride:setHi*c.ptagStride], img.ptags)
+	copy(c.clocks[lo:hi], img.clocks)
+	copy(c.bankStats[lo:hi], img.stats)
+}

@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+// drive pushes a deterministic access mix through the cache — enough
+// misses, hits, and dirty evictions to churn tags, LRU stamps, clocks, and
+// counters in every bank.
+func drive(c *Banked, salt uint64) {
+	for i := uint64(0); i < 4096; i++ {
+		a := phys.Addr(((i*2654435761 + salt) % (1 << 20)) &^ 63)
+		c.Access(a, i%3 == 0)
+	}
+}
+
+func TestBankSnapshotRestoreRoundTrip(t *testing.T) {
+	ctl := New(small(), phys.T2())
+	sub := New(small(), phys.T2())
+	drive(ctl, 1)
+	drive(sub, 1)
+
+	const lo, hi = 2, 5
+	var img BankImage
+	sub.SnapshotBanksInto(lo, hi, &img)
+
+	// Diverge the subject hard, then roll the range back.
+	drive(sub, 99)
+	sub.RestoreBanks(&img)
+
+	// Within the restored range every field except vers must match the
+	// control; vers is monotonic by design and deliberately not rewound.
+	spb := sub.setsPerBank
+	w := sub.cfg.Ways
+	if !reflect.DeepEqual(sub.tags[lo*spb*w:hi*spb*w], ctl.tags[lo*spb*w:hi*spb*w]) {
+		t.Error("tags not restored")
+	}
+	if !reflect.DeepEqual(sub.used[lo*spb*w:hi*spb*w], ctl.used[lo*spb*w:hi*spb*w]) {
+		t.Error("used stamps not restored")
+	}
+	if !reflect.DeepEqual(sub.valid[lo*spb:hi*spb], ctl.valid[lo*spb:hi*spb]) {
+		t.Error("valid masks not restored")
+	}
+	if !reflect.DeepEqual(sub.dirty[lo*spb:hi*spb], ctl.dirty[lo*spb:hi*spb]) {
+		t.Error("dirty masks not restored")
+	}
+	if !reflect.DeepEqual(sub.ptags[lo*spb*sub.ptagStride:hi*spb*sub.ptagStride], ctl.ptags[lo*spb*ctl.ptagStride:hi*spb*ctl.ptagStride]) {
+		t.Error("partial tags not restored")
+	}
+	if !reflect.DeepEqual(sub.clocks[lo:hi], ctl.clocks[lo:hi]) {
+		t.Error("clocks not restored")
+	}
+	if !reflect.DeepEqual(sub.bankStats[lo:hi], ctl.bankStats[lo:hi]) {
+		t.Error("bank stats not restored")
+	}
+
+	// A second snapshot into the same image must not reallocate.
+	tagsCap, statsCap := cap(img.tags), cap(img.stats)
+	sub.SnapshotBanksInto(lo, hi, &img)
+	if cap(img.tags) != tagsCap || cap(img.stats) != statsCap {
+		t.Error("SnapshotBanksInto reallocated on reuse")
+	}
+}
+
+// TestBankRestoreLeavesOtherBanksAlone pins the partial-restore contract:
+// banks outside the image range keep their post-divergence state.
+func TestBankRestoreLeavesOtherBanksAlone(t *testing.T) {
+	c := New(small(), phys.T2())
+	drive(c, 1)
+	var img BankImage
+	c.SnapshotBanksInto(0, 1, &img)
+	drive(c, 7)
+	after := New(small(), phys.T2())
+	drive(after, 1)
+	drive(after, 7)
+	c.RestoreBanks(&img)
+	spb := c.setsPerBank
+	if !reflect.DeepEqual(c.tags[spb*c.cfg.Ways:], after.tags[spb*c.cfg.Ways:]) {
+		t.Error("restore of bank 0 disturbed other banks' tags")
+	}
+	if !reflect.DeepEqual(c.clocks[1:], after.clocks[1:]) {
+		t.Error("restore of bank 0 disturbed other banks' clocks")
+	}
+	if !reflect.DeepEqual(c.vers, after.vers) {
+		t.Error("restore touched install versions; they must stay monotonic")
+	}
+}

@@ -136,6 +136,15 @@ type pstrand struct {
 	sb     []sim.Time // store-buffer ring: completion times of posted fills
 	sbPos  int
 	t      sim.Time // strand-local time: issue point of the in-flight access
+
+	// Generator replay log (speculate.go): items pulled during a
+	// speculative burst, deep-copied so a rollback can replay them instead
+	// of rewinding the generator. replayPos is the consumption cursor —
+	// the only part of the log a rollback touches — and replayEnd latches
+	// generator exhaustion across rollbacks.
+	replay    []trace.Item
+	replayPos int
+	replayEnd bool
 }
 
 // reqProbe is a NACKed request's cached tag probe, valid while its set's
@@ -206,6 +215,12 @@ type pshard struct {
 	busyRounds   int64  // batched rounds in which this shard executed at least one event
 	stepsMark    uint64 // eng.Steps() at the last round boundary (busyRounds bookkeeping)
 
+	// Speculation state (speculate.go): the burst-entry checkpoint, reused
+	// across bursts, and the replay-logging flag the item pull consults
+	// while a burst is in flight. Both are owned by the shard's worker.
+	ckpt    shardCkpt
+	specLog bool
+
 	// diag is the shard's progress snapshot, published (atomically, once
 	// per epoch, only on armed runs) for the watchdog's diagnostics: a
 	// tripped run reports each shard's last known epoch, wheel depth,
@@ -238,7 +253,15 @@ type parState struct {
 	epochs  int64    // barrier rounds: serial merges (classic) or batched rounds
 	micro   int64    // epochs actually executed (= epochs when batching is off)
 	noBatch bool     // run the classic one-merge-per-epoch loop
+	spec    bool     // run the speculative loop (speculate.go)
 	done    bool
+
+	// Speculation telemetry, written by worker 0 at loop exit. All three
+	// are deterministic and worker-invariant: every burst decision is a
+	// pure function of folded machine-wide aggregates.
+	specEpochs    int64 // micro-epochs executed inside committed bursts
+	specCommits   int64 // bursts that validated and committed
+	specRollbacks int64 // bursts that failed validation and rolled back
 
 	// Abort protocol (armed runs only — see RunShardedCtx). abort makes a
 	// single transition away from abortNone, set by the monitor goroutine;
@@ -372,6 +395,9 @@ func (m *Machine) RunShardedCtx(ctx context.Context, prog *trace.Program, opt Sh
 				ErrEpochWidthTooNarrow, opt.EpochWidth, w)
 		}
 	}
+	if opt.Speculate && opt.NoBatch {
+		return Result{}, ErrSpeculateNoBatch
+	}
 	if !m.Shardable(prog) {
 		return m.RunCtx(ctx, prog)
 	}
@@ -467,6 +493,7 @@ func (m *Machine) preparePar(prog *trace.Program, opt ShardOptions) *parState {
 			sh.loadStall, sh.storeStall, sh.computeStall = 0, 0, 0
 			sh.retryStall, sh.retries = 0, 0
 			sh.finish, sh.idleEpochs = 0, 0
+			sh.specLog = false
 		}
 	}
 	// Per-run epoch parameters: the relaxed width override and the batching
@@ -476,6 +503,8 @@ func (m *Machine) preparePar(prog *trace.Program, opt ShardOptions) *parState {
 		ps.w = opt.EpochWidth
 	}
 	ps.noBatch = opt.NoBatch
+	ps.spec = opt.Speculate
+	ps.specEpochs, ps.specCommits, ps.specRollbacks = 0, 0, 0
 	for _, sh := range ps.shards {
 		sh.gen = 0
 		sh.epochEnd = ps.w
@@ -516,6 +545,9 @@ func (m *Machine) preparePar(prog *trace.Program, opt ShardOptions) *parState {
 		clear(s.sb)
 		s.sbPos = 0
 		s.t = 0
+		s.replay = s.replay[:0]
+		s.replayPos = 0
+		s.replayEnd = false
 		sh := ps.shards[s.home]
 		sh.strands = append(sh.strands, s.id)
 		sh.running++
@@ -570,6 +602,9 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 	if rounds := ps.epochs * int64(len(ps.shards)); rounds > 0 {
 		res.BusyShardPct = 100 * float64(busy) / float64(rounds)
 	}
+	res.SpecEpochs = ps.specEpochs
+	res.SpecCommits = ps.specCommits
+	res.SpecRollbacks = ps.specRollbacks
 	if cycles == 0 {
 		cycles = 1
 	}
@@ -609,6 +644,10 @@ func (ps *parState) collect(cfg Config, prog *trace.Program) Result {
 // same per-shard order, which is the byte-identity argument.
 func (ps *parState) run(workers int) {
 	if !ps.noBatch {
+		if ps.spec {
+			ps.runSpec(workers)
+			return
+		}
 		ps.runBatched(workers)
 		return
 	}
@@ -946,7 +985,7 @@ func (sh *pshard) advance(s *pstrand) {
 				return
 			}
 			s.item.Reset()
-			if !s.gen.Next(&s.item) {
+			if !sh.nextItem(s) {
 				sh.running--
 				sh.retire(s)
 				if t > sh.finish {

@@ -1,0 +1,745 @@
+// Optimistic speculative epochs for the sharded engine.
+//
+// The batched loop (batch.go) still pays one aggregate exchange — publish,
+// spin, fold — per W-cycle micro-epoch, and the conservative bound keeps W
+// at min(xbar, bank-service), a handful of cycles. Workloads phase-locked
+// to that grid (the fig4 offset-0/128 convoys) spend most of their epochs
+// exchanging aggregates about an almost-idle machine: every strand is
+// waiting out a memory round trip that will not complete for dozens of
+// epochs, yet every epoch still exchanges, because *some* shard might
+// send mail landing just one epoch out.
+//
+// This file adds the classic optimistic-PDES answer, shaped to preserve
+// the engine's byte-identity contract exactly: shards speculate K epochs
+// past a committed boundary without exchanging anything, then validate the
+// whole burst at a single rendezvous and either commit it or roll every
+// shard back to its checkpoint and re-execute conservatively.
+//
+// # The burst protocol
+//
+// Speculation is a property of the *loop*, not of individual shards: every
+// worker computes the same boundary decisions from the same folded
+// aggregates (batch.go's redundant-decision argument), so every worker
+// also agrees — without communicating — on when a burst starts, how long
+// it runs, and whether it commits. A burst begins right after a committed
+// epoch boundary whose epoch sent no inter-shard mail (so the mailbox
+// generation to be drained next is provably empty) and proceeds under
+// three frozen assumptions, each checked at the burst-end rendezvous:
+//
+//  1. No inter-shard mail is sent during the burst except in its final
+//     epoch. Mail produced in epoch i is normally delivered at epoch i+1;
+//     a burst defers all delivery to the boundary after the burst, which
+//     is exactly where the conservative loop would deliver the *final*
+//     epoch's mail. Mail from any earlier burst epoch would be delivered
+//     late — and even a message for a far-future time would receive its
+//     destination-wheel sequence number after events the destination
+//     scheduled later in the burst, flipping same-cycle tie-breaks. Both
+//     hazards vanish when only the final epoch mails, so that is the
+//     validated condition: the per-epoch aggregate carries a cumulative
+//     sent-mail counter, and the machine-wide count through the
+//     second-to-last burst epoch must be zero.
+//  2. The run-ahead global minimum is frozen. Conservative boundaries
+//     refresh every shard's gmin copy; burst boundaries do not, so the
+//     burst is valid if the true folded minimum never moved off the
+//     frozen value — or, the relaxed arm, if nothing was parked at any
+//     boundary of the burst and nothing parked during it (the folded
+//     parked-minimum is -1 throughout): gmin is consulted only by the
+//     park predicate, a strand parks against a *smaller* (frozen) minimum
+//     at least as eagerly as against the live one, so an execution in
+//     which even the eager predicate parked no one is also the execution
+//     the live predicate produces.
+//  3. No parked strand becomes wake-eligible at an internal boundary.
+//     With gmin frozen this cannot happen (parking requires
+//     items-gmin >= runAhead, so parkMin-gmin >= runAhead for every
+//     parked strand), but the validator checks it anyway — it is one
+//     compare per boundary, and it turns the argument into an assertion.
+//
+// Everything else a conservative boundary does is a no-op under these
+// assumptions. There is no mail to drain and no generation worth flipping:
+// production stays in one generation, accumulating only final-epoch mail,
+// which the commit boundary's single flip hands to the next deliver at
+// exactly the conservative point. The empty-epoch skip needs no
+// validation either: boundaries live on the fixed W grid anchored at the
+// epoch cursor, so the slice in which an event executes — and therefore
+// every epoch-end clamp — is the same whether the idle epochs before it
+// were skipped or executed; executing them runs no events and differs
+// only in loop telemetry. The burst's final boundary is then computed
+// from the folded final-epoch aggregates and applied as a completely
+// normal boundary: gmin refresh, wakes, termination, skip, flip.
+//
+// A burst that fails validation rolls back: every shard restores the
+// checkpoint its owner took at burst entry — wheel image, owned L2 banks,
+// bank/controller/core cursors, message arena, strand records, run-ahead
+// window, counters — truncates its production mailboxes (provably empty
+// at entry), and the loop re-executes the span conservatively, epoch by
+// epoch. Commit or rollback, the surviving execution is the conservative
+// execution; that is the byte-identity argument, and it holds at every
+// worker count because no decision input depends on the shard-to-worker
+// assignment. Speculation changes wall-clock time and loop telemetry
+// (epoch counts, barrier stalls, the Spec* counters) — never simulation
+// results.
+//
+// Generators are the one piece of strand state with no snapshot shape, so
+// they are never rolled back at all: every item a generator produces
+// during a burst is logged (a deep copy) on its strand, and re-execution
+// replays the log before asking the generator for anything new. The items
+// a strand consumes are a pure function of the strand alone — timing
+// decides *when* it pulls, never *what* it pulls — so the log replays
+// exactly, and a generator advances monotonically no matter how many
+// bursts collapse. (Programs whose generators share scheduler state never
+// reach the sharded engine — trace.Program.SharedSched routes them to the
+// sequential fallback.)
+//
+// # Publication: the slot ring
+//
+// Burst epochs publish their aggregates without waiting — that is the
+// point — so the parity-2 slots of batch.go are not enough: a worker may
+// run a full burst ahead of a peer still validating the previous one.
+// Speculative runs therefore publish into a per-worker ring of
+// 2*specKMax+2 slots indexed by a monotonic virtual-epoch counter that
+// never rewinds: rolled-back epochs are abandoned in the ring and
+// re-executed epochs take fresh indices, which keeps every seq store
+// monotonic, so the acquire/release chain that orders cross-shard mailbox
+// access in batch.go carries over unchanged. A worker can be at most one
+// un-rendezvoused burst plus one epoch past a peer still reading the
+// previous burst's slots, so the divergence is under 2*specKMax slots.
+//
+// # The throttle
+//
+// The burst depth K adapts: it halves after a rollback, doubles (up to
+// specKMax) after specGrowAfter consecutive commits, and a rollback at
+// the minimum depth counts a strike — specMaxStrikes strikes with no
+// intervening commit turn speculation off for the rest of the run (K=0),
+// so a workload that mails every epoch degrades to the plain batched loop
+// plus one checkpoint per strike. Like every other decision, the throttle
+// state is recomputed identically by every worker from the shared
+// validation verdicts; no worker publishes it.
+package chip
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/faults"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Speculation depth bounds and throttle policy (see the file comment).
+const (
+	specKMin       = 2  // shallowest useful burst: K=1 has no internal boundary to skip
+	specKInit      = 8  // starting depth
+	specKMax       = 64 // deepest burst; also sizes the slot ring
+	specGrowAfter  = 4  // consecutive commits that double K
+	specMaxStrikes = 4  // min-depth rollbacks that switch speculation off
+)
+
+// specRing is the publication ring depth; see the file comment for the
+// 2*specKMax divergence bound.
+const specRing = 2*specKMax + 2
+
+// sslot is one worker's published aggregate for one virtual epoch: the
+// five boundary fields of batch.go's wslot plus the cumulative count of
+// inter-shard messages sent into the current production generation — the
+// field the burst validator and the burst entry condition read.
+type sslot struct {
+	localMin atomic.Int64
+	parkMin  atomic.Int64
+	earliest atomic.Int64
+	pending  atomic.Int64
+	running  atomic.Int64
+	mailed   atomic.Int64
+}
+
+// spub is one worker's publication record for the speculative loop: the
+// last virtual epoch published and the slot ring, with the spin target
+// padded off the ring's cache lines.
+type spub struct {
+	seq  atomic.Int64
+	_    [56]byte
+	ring [specRing]sslot
+}
+
+// waitFor spins until this record publishes virtual epoch v or an abort
+// is observed, reporting false on abort. Mirrors wpub.waitFor.
+func (p *spub) waitFor(v int64, abort *atomic.Int32) bool {
+	for i := 0; p.seq.Load() < v; i++ {
+		if i > 128 {
+			if abort.Load() != abortNone {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+// publish stores the aggregate into the ring slot for virtual epoch v and
+// releases it through the seq store.
+func (p *spub) publish(v int64, a *specAgg) {
+	s := &p.ring[v%specRing]
+	s.localMin.Store(a.localMin)
+	s.parkMin.Store(a.parkMin)
+	s.earliest.Store(a.earliest)
+	s.pending.Store(a.pending)
+	s.running.Store(a.running)
+	s.mailed.Store(a.mailed)
+	p.seq.Store(v)
+}
+
+// specAgg is epochAgg plus the cumulative sent-mail counter.
+type specAgg struct {
+	localMin int64
+	parkMin  int64
+	earliest int64
+	pending  int64
+	running  int64
+	mailed   int64
+}
+
+func newSpecAgg() specAgg { return specAgg{localMin: -1, parkMin: -1, earliest: -1} }
+
+// add folds one owned shard's end-of-epoch state into the aggregate;
+// identical to epochAgg.add plus the production-generation mail count.
+func (a *specAgg) add(sh *pshard) {
+	g := sh.gen
+	a.running += int64(sh.running)
+	a.pending += int64(sh.eng.Pending() + sh.outCount[g])
+	a.mailed += int64(sh.outCount[g])
+	if sh.localMin >= 0 && (a.localMin < 0 || sh.localMin < a.localMin) {
+		a.localMin = sh.localMin
+	}
+	if sh.parkMin >= 0 && (a.parkMin < 0 || sh.parkMin < a.parkMin) {
+		a.parkMin = sh.parkMin
+	}
+	if t, ok := sh.eng.PeekTime(); ok && (a.earliest < 0 || int64(t) < a.earliest) {
+		a.earliest = int64(t)
+	}
+	if sh.outCount[g] > 0 && (a.earliest < 0 || int64(sh.outMin[g]) < a.earliest) {
+		a.earliest = int64(sh.outMin[g])
+	}
+}
+
+// fold merges a published slot into the aggregate.
+func (a *specAgg) fold(s *sslot) {
+	if v := s.localMin.Load(); v >= 0 && (a.localMin < 0 || v < a.localMin) {
+		a.localMin = v
+	}
+	if v := s.parkMin.Load(); v >= 0 && (a.parkMin < 0 || v < a.parkMin) {
+		a.parkMin = v
+	}
+	if v := s.earliest.Load(); v >= 0 && (a.earliest < 0 || v < a.earliest) {
+		a.earliest = v
+	}
+	a.pending += s.pending.Load()
+	a.running += s.running.Load()
+	a.mailed += s.mailed.Load()
+}
+
+// anyWake is the boundary's wake-eligibility predicate, shared with
+// batch.go's inline form.
+func (ps *parState) anyWake(gm, parkMin int64) bool {
+	return ps.runAhead > 0 && gm >= 0 && parkMin >= 0 && parkMin-gm < ps.runAhead
+}
+
+// specThrottle is the adaptive depth controller, recomputed identically
+// by every worker from the shared commit/rollback verdicts.
+type specThrottle struct {
+	k       int64 // current burst depth; 0 = speculation off for the run
+	clean   int64 // consecutive commits since the last rollback
+	strikes int64 // min-depth rollbacks since the last commit
+}
+
+func (t *specThrottle) commit() {
+	t.strikes = 0
+	t.clean++
+	if t.clean >= specGrowAfter && t.k < specKMax {
+		t.k *= 2
+		if t.k > specKMax {
+			t.k = specKMax
+		}
+		t.clean = 0
+	}
+}
+
+func (t *specThrottle) rollback() {
+	t.clean = 0
+	if t.k > specKMin {
+		t.k /= 2
+		return
+	}
+	t.strikes++
+	if t.strikes >= specMaxStrikes {
+		t.k = 0 // sticky: pure conservative for the rest of the run
+	}
+}
+
+// ---- generator replay log --------------------------------------------------
+
+// copyItem deep-copies a work item, reusing dst's access capacity.
+func copyItem(dst, src *trace.Item) {
+	acc := append(dst.Acc[:0], src.Acc...)
+	*dst = *src
+	dst.Acc = acc
+}
+
+// logItem appends a deep copy of it to the strand's replay log, reusing
+// retained entry capacity.
+func (s *pstrand) logItem(it *trace.Item) {
+	n := len(s.replay)
+	if n < cap(s.replay) {
+		s.replay = s.replay[:n+1]
+	} else {
+		s.replay = append(s.replay, trace.Item{})
+	}
+	copyItem(&s.replay[n], it)
+}
+
+// nextItem is the strand's item pull, routed through the replay log so
+// generators never need rewinding: during a burst every fresh pull is
+// logged, rollback rewinds only the consumption cursor (pstrand.replayPos),
+// and re-execution replays the logged items before asking the generator
+// for anything new. Exhaustion is latched the same way — a generator that
+// reported done during a rolled-back burst is never asked again.
+func (sh *pshard) nextItem(s *pstrand) bool {
+	if s.replayPos < len(s.replay) {
+		copyItem(&s.item, &s.replay[s.replayPos])
+		s.replayPos++
+		if !sh.specLog && s.replayPos == len(s.replay) {
+			s.replay = s.replay[:0]
+			s.replayPos = 0
+		}
+		return true
+	}
+	if s.replayEnd {
+		return false
+	}
+	if !s.gen.Next(&s.item) {
+		s.replayEnd = true
+		return false
+	}
+	if sh.specLog {
+		s.logItem(&s.item)
+		s.replayPos = len(s.replay)
+	}
+	return true
+}
+
+// compactReplay drops a fully consumed replay log after a commit, keeping
+// the entry capacity for the next burst.
+func (s *pstrand) compactReplay() {
+	if s.replayPos == len(s.replay) {
+		s.replay = s.replay[:0]
+		s.replayPos = 0
+	}
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+// strandCkpt is one home strand's rollback record. The generator is
+// absent by design — the replay log survives rollback, so only the
+// consumption cursor is restored.
+type strandCkpt struct {
+	item      trace.Item
+	sb        []sim.Time
+	t         sim.Time
+	items     int64
+	accIdx    int
+	sbPos     int
+	replayPos int
+	active    bool
+	parked    bool
+}
+
+// shardCkpt is one shard's complete timing-relevant state at a burst
+// entry boundary. Every field is captured into retained capacity, so a
+// shard that speculates repeatedly checkpoints without allocating after
+// its slices reach steady size. Install versions are deliberately absent
+// (see cache.BankImage); mailbox contents are absent because the
+// production generation is provably empty at every burst entry and the
+// drained generation is truncated by its consumers.
+type shardCkpt struct {
+	eng      sim.EngineImage
+	banks    cache.BankImage
+	bankCur  []sim.Cursor
+	north    sim.Cursor
+	south    sim.Cursor
+	ctlStats mem.CtlStats
+	coreCur  []sim.Cursor
+	arena    []shardMsg
+	probes   []reqProbe
+	free     []int32
+	strands  []strandCkpt
+	window   []int32
+	parked   []int32
+
+	active, running         int
+	localMin, parkMin, gmin int64
+	epochEnd                sim.Time
+	finish                  sim.Time
+
+	units, repBytes                     int64
+	loadStall, storeStall, computeStall int64
+	retryStall, retries                 int64
+	idleEpochs, epochsRun, busyRounds   int64
+	stepsMark                           uint64
+}
+
+// checkpoint captures everything this shard's burst could mutate: the
+// wheel, the owned L2 banks and bank cursors, the owned controller's
+// channels and counters, the owned cores' pipeline cursors, the message
+// arena with its probe cache and free list, every home strand's record,
+// the run-ahead window, and the shard counters. Called only by the
+// shard's owning worker, between epochs, so every read is single-writer
+// state at rest.
+func (sh *pshard) checkpoint() {
+	ps := sh.ps
+	ck := &sh.ckpt
+	d := len(ps.shards)
+	sh.eng.SnapshotInto(&ck.eng)
+	bpc := ps.cfg.Mapping.Banks() / d
+	lo, hi := int(sh.id)*bpc, (int(sh.id)+1)*bpc
+	ps.l2.SnapshotBanksInto(lo, hi, &ck.banks)
+	ck.bankCur = append(ck.bankCur[:0], ps.banks[lo:hi]...)
+	north, south := ps.mc.CtlCursors(int(sh.id))
+	ck.north, ck.south = *north, *south
+	ck.ctlStats = ps.mc.CtlStatsAt(int(sh.id))
+	ck.coreCur = ck.coreCur[:0]
+	for c := int(sh.id); c < ps.cfg.Cores; c += d {
+		ps.cores.CoreCursors(c, func(cur *sim.Cursor) {
+			ck.coreCur = append(ck.coreCur, *cur)
+		})
+	}
+	ck.arena = append(ck.arena[:0], sh.arena...)
+	ck.probes = append(ck.probes[:0], sh.probes...)
+	ck.free = append(ck.free[:0], sh.free...)
+	if cap(ck.strands) < len(sh.strands) {
+		grown := make([]strandCkpt, len(sh.strands))
+		copy(grown, ck.strands[:cap(ck.strands)]) // keep retained item/sb capacity
+		ck.strands = grown
+	}
+	ck.strands = ck.strands[:len(sh.strands)]
+	for i, id := range sh.strands {
+		st := ps.strands[id]
+		sc := &ck.strands[i]
+		copyItem(&sc.item, &st.item)
+		sc.sb = append(sc.sb[:0], st.sb...)
+		sc.t, sc.items, sc.accIdx, sc.sbPos = st.t, st.items, st.accIdx, st.sbPos
+		sc.replayPos = st.replayPos
+		sc.active, sc.parked = st.active, st.parked
+	}
+	ck.window = append(ck.window[:0], sh.window...)
+	ck.parked = append(ck.parked[:0], sh.parked...)
+	ck.active, ck.running = sh.active, sh.running
+	ck.localMin, ck.parkMin, ck.gmin = sh.localMin, sh.parkMin, sh.gmin
+	ck.epochEnd, ck.finish = sh.epochEnd, sh.finish
+	ck.units, ck.repBytes = sh.units, sh.repBytes
+	ck.loadStall, ck.storeStall, ck.computeStall = sh.loadStall, sh.storeStall, sh.computeStall
+	ck.retryStall, ck.retries = sh.retryStall, sh.retries
+	ck.idleEpochs, ck.epochsRun, ck.busyRounds = sh.idleEpochs, sh.epochsRun, sh.busyRounds
+	ck.stepsMark = sh.stepsMark
+}
+
+// restore rewinds this shard to its burst-entry checkpoint and truncates
+// the production mailboxes (empty at entry, so truncation is the exact
+// inverse of everything the burst appended). The generation index itself
+// is untouched — bursts never flip it — and replay logs are durable
+// generator truth, so only the consumption cursors rewind.
+func (sh *pshard) restore() {
+	ps := sh.ps
+	ck := &sh.ckpt
+	d := len(ps.shards)
+	sh.eng.RestoreImage(&ck.eng)
+	ps.l2.RestoreBanks(&ck.banks)
+	bpc := ps.cfg.Mapping.Banks() / d
+	lo := int(sh.id) * bpc
+	copy(ps.banks[lo:lo+len(ck.bankCur)], ck.bankCur)
+	north, south := ps.mc.CtlCursors(int(sh.id))
+	*north, *south = ck.north, ck.south
+	ps.mc.SetCtlStatsAt(int(sh.id), ck.ctlStats)
+	i := 0
+	for c := int(sh.id); c < ps.cfg.Cores; c += d {
+		ps.cores.CoreCursors(c, func(cur *sim.Cursor) {
+			*cur = ck.coreCur[i]
+			i++
+		})
+	}
+	sh.arena = append(sh.arena[:0], ck.arena...)
+	sh.probes = append(sh.probes[:0], ck.probes...)
+	sh.free = append(sh.free[:0], ck.free...)
+	for j, id := range sh.strands {
+		st := ps.strands[id]
+		sc := &ck.strands[j]
+		copyItem(&st.item, &sc.item)
+		copy(st.sb, sc.sb)
+		st.t, st.items, st.accIdx, st.sbPos = sc.t, sc.items, sc.accIdx, sc.sbPos
+		st.replayPos = sc.replayPos
+		st.active, st.parked = sc.active, sc.parked
+	}
+	sh.window = append(sh.window[:0], ck.window...)
+	sh.parked = append(sh.parked[:0], ck.parked...)
+	sh.active, sh.running = ck.active, ck.running
+	sh.localMin, sh.parkMin, sh.gmin = ck.localMin, ck.parkMin, ck.gmin
+	sh.epochEnd, sh.finish = ck.epochEnd, ck.finish
+	sh.units, sh.repBytes = ck.units, ck.repBytes
+	sh.loadStall, sh.storeStall, sh.computeStall = ck.loadStall, ck.storeStall, ck.computeStall
+	sh.retryStall, sh.retries = ck.retryStall, ck.retries
+	sh.idleEpochs, sh.epochsRun, sh.busyRounds = ck.idleEpochs, ck.epochsRun, ck.busyRounds
+	sh.stepsMark = ck.stepsMark
+	g := sh.gen
+	for dst := range sh.out[g] {
+		sh.out[g][dst] = sh.out[g][dst][:0]
+	}
+	sh.outCount[g] = 0
+}
+
+// ---- the speculative loop --------------------------------------------------
+
+// runSpec drives the speculative epoch loop with the batched loop's worker
+// topology: shard i belongs to worker i%workers, worker 0 runs on the
+// calling goroutine, a watchdog abort abandons the wait for wedged
+// workers. The publication ring is allocated even for one worker: burst
+// validation folds the caller's own published slots too.
+func (ps *parState) runSpec(workers int) {
+	pubs := make([]spub, workers)
+	for w := range pubs {
+		pubs[w].seq.Store(-1)
+	}
+	if workers <= 1 {
+		ps.specLoop(0, 1, pubs)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps.specLoop(w, workers, pubs)
+		}(w)
+	}
+	ps.specLoop(0, workers, pubs)
+	if ps.abort.Load() == abortWatchdog {
+		return // same contract as runBatched: abandon wedged workers
+	}
+	wg.Wait()
+}
+
+// specLoop is one worker's whole speculative run: the batched loop with a
+// burst attempt bolted onto every committed boundary whose epoch mailed
+// nothing. All decision inputs are folded machine-wide values, so control
+// flow — entry, depth, verdict, throttle — never diverges across workers
+// or worker counts.
+func (ps *parState) specLoop(w, workers int, pubs []spub) {
+	end := ps.shards[0].epochEnd
+	var micro int64 // committed micro-epochs (conservative + committed burst)
+	var v int64     // virtual epoch counter: next publication index, never rewinds
+	th := specThrottle{k: specKInit}
+	var commits, rollbacks, specMicro int64
+	p := &pubs[w]
+	gm := int64(0) // folded run-ahead minimum of the last applied boundary
+
+loop:
+	for {
+		if ps.abort.Load() != abortNone {
+			break
+		}
+		// One conservative epoch, exactly as batchedLoop runs it.
+		a := newSpecAgg()
+		for i := w; i < len(ps.shards); i += workers {
+			sh := ps.shards[i]
+			sh.deliver()
+			sh.runEpoch()
+			a.add(sh)
+		}
+		p.publish(v, &a)
+		for u := range pubs {
+			if u == w {
+				continue
+			}
+			if !pubs[u].waitFor(v, &ps.abort) {
+				break loop
+			}
+			a.fold(&pubs[u].ring[v%specRing])
+		}
+		v++
+		micro++
+		if w == 0 {
+			ps.progress.Store(v)
+		}
+		gm = a.localMin
+		wake := ps.anyWake(gm, a.parkMin)
+		if a.pending == 0 && !wake {
+			if w == 0 {
+				if a.running != 0 {
+					panic("chip: deadlock — strands left running with no events (speculative engine)")
+				}
+				ps.done = true
+			}
+			break
+		}
+		start := end
+		if !wake && a.earliest >= 0 && sim.Time(a.earliest) > start {
+			start += (sim.Time(a.earliest) - start) / ps.w * ps.w
+		}
+		newEnd := start + ps.w
+		for i := w; i < len(ps.shards); i += workers {
+			ps.boundary(ps.shards[i], gm, end, newEnd)
+		}
+		end = newEnd
+		if micro%batchRound == 0 {
+			for i := w; i < len(ps.shards); i += workers {
+				ps.shards[i].markRound()
+			}
+		}
+
+		// Burst attempts, chained while the mail horizon stays clear: the
+		// just-finished epoch (conservative, or a committed burst's final
+		// epoch) must have mailed nothing, so the generation the next
+		// deliver would drain is empty machine-wide.
+		mailed := a.mailed
+		for th.k >= specKMin && mailed == 0 {
+			K := th.k
+			for i := w; i < len(ps.shards); i += workers {
+				sh := ps.shards[i]
+				sh.checkpoint()
+				sh.specLog = true
+			}
+			endCk := end
+			v0 := v
+
+			// Run K epochs back to back: no deliver (the drain generation
+			// is empty), no boundary work beyond advancing the epoch
+			// cursor, aggregates published into the ring without waiting.
+			for k := int64(0); k < K; k++ {
+				if ps.abort.Load() != abortNone {
+					break loop
+				}
+				b := newSpecAgg()
+				for i := w; i < len(ps.shards); i += workers {
+					sh := ps.shards[i]
+					sh.runEpoch()
+					b.add(sh)
+				}
+				p.publish(v, &b)
+				v++
+				if w == 0 {
+					ps.progress.Store(v)
+				}
+				if k < K-1 {
+					for i := w; i < len(ps.shards); i += workers {
+						ps.shards[i].epochEnd += ps.w
+					}
+					end += ps.w
+				}
+			}
+
+			// Rendezvous: every worker through the burst's last epoch.
+			for u := range pubs {
+				if u == w {
+					continue
+				}
+				if !pubs[u].waitFor(v-1, &ps.abort) {
+					break loop
+				}
+			}
+
+			// Validate, identically on every worker. mailed is cumulative
+			// within the burst (the generation never flips), so one check
+			// at the second-to-last epoch covers assumption 1; the strict
+			// and park-free arms cover assumptions 2 and 3.
+			ok := true
+			strict := true
+			parkFree := true
+			var fin specAgg
+			for k := int64(0); k < K; k++ {
+				f := newSpecAgg()
+				for u := range pubs {
+					f.fold(&pubs[u].ring[(v0+k)%specRing])
+				}
+				if f.parkMin >= 0 {
+					parkFree = false
+				}
+				if k == K-1 {
+					fin = f
+					break
+				}
+				if f.mailed != 0 {
+					ok = false
+					break
+				}
+				if f.localMin != gm || ps.anyWake(f.localMin, f.parkMin) {
+					strict = false
+				}
+			}
+			if ok && ps.runAhead > 0 && !strict && !parkFree {
+				ok = false
+			}
+			if faults.SpecConflict(commits + rollbacks) {
+				ok = false // injected conflict: same ordinal, same verdict, every worker
+			}
+
+			if !ok {
+				rollbacks++
+				th.rollback()
+				for i := w; i < len(ps.shards); i += workers {
+					sh := ps.shards[i]
+					sh.restore()
+					sh.specLog = false
+				}
+				end = endCk
+				break // re-execute conservatively from the checkpoint
+			}
+
+			commits++
+			specMicro += K
+			th.commit()
+			micro += K
+			for i := w; i < len(ps.shards); i += workers {
+				sh := ps.shards[i]
+				sh.specLog = false
+				for _, id := range sh.strands {
+					ps.strands[id].compactReplay()
+				}
+			}
+			gm = fin.localMin
+			wake := ps.anyWake(gm, fin.parkMin)
+			if fin.pending == 0 && !wake {
+				if w == 0 {
+					if fin.running != 0 {
+						panic("chip: deadlock — strands left running with no events (speculative engine)")
+					}
+					ps.done = true
+				}
+				break loop
+			}
+			start := end
+			if !wake && fin.earliest >= 0 && sim.Time(fin.earliest) > start {
+				start += (sim.Time(fin.earliest) - start) / ps.w * ps.w
+			}
+			newEnd := start + ps.w
+			for i := w; i < len(ps.shards); i += workers {
+				ps.boundary(ps.shards[i], gm, end, newEnd)
+			}
+			end = newEnd
+			if micro/batchRound != (micro-K)/batchRound {
+				for i := w; i < len(ps.shards); i += workers {
+					ps.shards[i].markRound()
+				}
+			}
+			mailed = fin.mailed
+		}
+	}
+	for i := w; i < len(ps.shards); i += workers {
+		ps.shards[i].markRound() // close the partial final round
+	}
+	if w == 0 {
+		ps.micro = micro
+		ps.epochs = (micro + batchRound - 1) / batchRound
+		ps.specEpochs = specMicro
+		ps.specCommits = commits
+		ps.specRollbacks = rollbacks
+	}
+}

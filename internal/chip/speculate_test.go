@@ -1,0 +1,314 @@
+package chip
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// specNorm zeroes the loop-telemetry fields that may legitimately differ
+// between speculative and non-speculative executions of the same program:
+// epoch/round accounting and the Spec* counters. Every remaining byte —
+// cycles, stalls, traffic, counters, per-controller stats — must match.
+func specNorm(r Result) Result {
+	r.Epochs, r.BatchedEpochs, r.BarrierStalls = 0, 0, 0
+	r.BusyShardRounds, r.BusyShardPct = 0, 0
+	r.SpecEpochs, r.SpecCommits, r.SpecRollbacks = 0, 0, 0
+	return r
+}
+
+// computeProg builds a program of compute-only strands: no memory
+// accesses, so no cross-shard mail ever — the workload on which every
+// speculative burst must validate and commit.
+func computeProg(threads, items int) *trace.Program {
+	gens := make([]trace.Generator, threads)
+	for i := range gens {
+		s := &scripted{}
+		for j := 0; j < items; j++ {
+			s.items = append(s.items, trace.Item{Units: 1, Demand: demandOf(50)})
+		}
+		gens[i] = s
+	}
+	return prog(gens...)
+}
+
+// TestSpeculativeEquivalence is the speculation contract: simulation
+// output is byte-identical with speculation on or off, at every worker
+// count, on every topology — commits, rollbacks and throttle collapse
+// included. Only loop telemetry may differ.
+func TestSpeculativeEquivalence(t *testing.T) {
+	for name, cfg := range shardedConfigs() {
+		t.Run(name, func(t *testing.T) {
+			m := New(cfg)
+			run := func(workers int, spec bool) Result {
+				if d := cfg.Mapping.Controllers(); workers > d {
+					workers = d
+				}
+				r, err := m.RunShardedCtx(context.Background(), marchingProg(16, 120),
+					ShardOptions{Workers: workers, Speculate: spec})
+				if err != nil {
+					t.Fatalf("workers=%d speculate=%v: %v", workers, spec, err)
+				}
+				if r.Shards == 0 {
+					t.Fatalf("workers=%d speculate=%v unexpectedly fell back", workers, spec)
+				}
+				return r
+			}
+			want := specNorm(run(1, false))
+			var specRef *Result
+			for _, workers := range []int{1, 2, 4} {
+				got := run(workers, true)
+				if g := specNorm(got); !reflect.DeepEqual(g, want) {
+					t.Fatalf("workers=%d speculative run diverged from conservative:\n got  %+v\n want %+v",
+						workers, g, want)
+				}
+				// Full Result — Spec* and loop telemetry included — must be
+				// worker-invariant among speculative runs.
+				if specRef == nil {
+					specRef = &got
+				} else if !reflect.DeepEqual(got, *specRef) {
+					t.Fatalf("speculative telemetry not worker-invariant at workers=%d:\n got  %+v\n want %+v",
+						workers, got, *specRef)
+				}
+			}
+			// A fresh machine must agree with the cached one.
+			fresh, err := New(cfg).RunShardedCtx(context.Background(), marchingProg(16, 120),
+				ShardOptions{Workers: 1, Speculate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh, *specRef) {
+				t.Fatalf("fresh speculative machine diverged from cached:\n got  %+v\n want %+v", fresh, *specRef)
+			}
+			// And dropping the option on the cached machine must restore the
+			// plain batched loop, telemetry included.
+			again := run(2, false)
+			if again.SpecEpochs != 0 || again.SpecCommits != 0 || again.SpecRollbacks != 0 {
+				t.Errorf("non-speculative run reports speculation telemetry: %+v", again)
+			}
+		})
+	}
+}
+
+// TestSpeculativeCommits pins the profitable path: on a workload with no
+// cross-shard mail every burst validates, the throttle grows the depth,
+// and nearly the whole run executes inside committed bursts — while the
+// results stay byte-identical to the conservative loop.
+func TestSpeculativeCommits(t *testing.T) {
+	cfg := t2cfg()
+	cfg.RunAhead = 0 // no parking: isolates the mail-horizon condition
+	m := New(cfg)
+	ref, err := m.RunShardedCtx(context.Background(), computeProg(16, 400), ShardOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := m.RunShardedCtx(context.Background(), computeProg(16, 400),
+		ShardOptions{Workers: 2, Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards == 0 || ref.Shards == 0 {
+		t.Fatal("expected sharded runs")
+	}
+	if spec.SpecCommits == 0 {
+		t.Fatal("no bursts committed on a mail-free workload")
+	}
+	if spec.SpecRollbacks != 0 {
+		t.Fatalf("SpecRollbacks = %d on a mail-free workload, want 0", spec.SpecRollbacks)
+	}
+	if spec.SpecEpochs*2 < spec.BatchedEpochs {
+		t.Errorf("only %d of %d micro-epochs ran inside bursts; the throttle never opened up",
+			spec.SpecEpochs, spec.BatchedEpochs)
+	}
+	if g, w := specNorm(spec), specNorm(ref); !reflect.DeepEqual(g, w) {
+		t.Fatalf("speculative run diverged:\n got  %+v\n want %+v", g, w)
+	}
+}
+
+// TestSpeculateRequiresBatching pins the configuration gate.
+func TestSpeculateRequiresBatching(t *testing.T) {
+	m := New(t2cfg())
+	_, err := m.RunShardedCtx(context.Background(), marchingProg(8, 40),
+		ShardOptions{Workers: 2, Speculate: true, NoBatch: true})
+	if !errors.Is(err, ErrSpeculateNoBatch) {
+		t.Fatalf("err = %v, want ErrSpeculateNoBatch", err)
+	}
+}
+
+// TestSpeculativeRelaxedWidth checks that speculation composes with the
+// relaxed wide-epoch mode: same relaxed results as the non-speculative
+// relaxed run, worker-invariant.
+func TestSpeculativeRelaxedWidth(t *testing.T) {
+	m := New(t2cfg())
+	w := m.EpochWidth()
+	run := func(workers int, spec bool) Result {
+		r, err := m.RunShardedCtx(context.Background(), marchingProg(8, 60),
+			ShardOptions{Workers: workers, EpochWidth: 2 * w, Speculate: spec})
+		if err != nil {
+			t.Fatalf("workers=%d speculate=%v: %v", workers, spec, err)
+		}
+		return r
+	}
+	want := specNorm(run(1, false))
+	ref := run(1, true)
+	if g := specNorm(ref); !reflect.DeepEqual(g, want) {
+		t.Fatalf("speculative relaxed run diverged from conservative relaxed run:\n got  %+v\n want %+v", g, want)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers, true); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("speculative relaxed run not worker-invariant at workers=%d", workers)
+		}
+	}
+}
+
+// TestSpecThrottle pins the adaptive depth policy: halve on rollback,
+// double after specGrowAfter clean commits, cap at specKMax, and collapse
+// to sticky-off after specMaxStrikes min-depth rollbacks.
+func TestSpecThrottle(t *testing.T) {
+	th := specThrottle{k: specKInit}
+	th.rollback()
+	if th.k != specKInit/2 {
+		t.Fatalf("after one rollback k = %d, want %d", th.k, specKInit/2)
+	}
+	for th.k > specKMin {
+		th.rollback()
+	}
+	for i := 0; i < specMaxStrikes-1; i++ {
+		th.rollback()
+		if th.k != specKMin {
+			t.Fatalf("strike %d collapsed k to %d before the strike budget", i+1, th.k)
+		}
+	}
+	th.commit() // a commit clears strikes
+	if th.strikes != 0 {
+		t.Fatalf("commit left strikes = %d", th.strikes)
+	}
+	for i := 0; i < specMaxStrikes; i++ {
+		th.rollback()
+	}
+	if th.k != 0 {
+		t.Fatalf("k = %d after %d min-depth strikes, want sticky 0", th.k, specMaxStrikes)
+	}
+	th = specThrottle{k: specKMin}
+	for grown := specKMin; grown < specKMax; grown *= 2 {
+		for i := 0; i < specGrowAfter; i++ {
+			if th.k != int64(grown) {
+				t.Fatalf("k = %d mid-streak, want %d", th.k, grown)
+			}
+			th.commit()
+		}
+	}
+	if th.k != specKMax {
+		t.Fatalf("k = %d after sustained commits, want %d", th.k, specKMax)
+	}
+	for i := 0; i < 2*specGrowAfter; i++ {
+		th.commit()
+	}
+	if th.k != specKMax {
+		t.Fatalf("k = %d grew past the cap", th.k)
+	}
+}
+
+// TestCheckpointRestoreProperty is the snapshot property test, run
+// differentially against a machine that never speculated: drive two
+// identical machines through the same conservative epochs, checkpoint
+// every shard of one, speculate it several epochs further (replay logging
+// on, deliveries suppressed — the real burst execution), force a restore,
+// and require every shard's captured state — wheel image, L2 bank image,
+// cursors, strand records, window, counters — to be bit-identical to the
+// never-speculated machine's. Then run both to completion through the
+// conservative loop and require byte-identical Results, which proves the
+// replay log hands back exactly the items the generators produced during
+// the discarded burst.
+func TestCheckpointRestoreProperty(t *testing.T) {
+	cfg := t2cfg()
+	mk := func() *parState {
+		return New(cfg).preparePar(marchingProg(16, 120), ShardOptions{})
+	}
+	ps1, ps2 := mk(), mk()
+
+	// One conservative single-worker epoch step, shared by both machines.
+	step := func(ps *parState, end *sim.Time) bool {
+		a := newSpecAgg()
+		for _, sh := range ps.shards {
+			sh.deliver()
+			sh.runEpoch()
+			a.add(sh)
+		}
+		gm := a.localMin
+		wake := ps.anyWake(gm, a.parkMin)
+		if a.pending == 0 && !wake {
+			return false
+		}
+		start := *end
+		if !wake && a.earliest >= 0 && sim.Time(a.earliest) > start {
+			start += (sim.Time(a.earliest) - start) / ps.w * ps.w
+		}
+		newEnd := start + ps.w
+		for _, sh := range ps.shards {
+			ps.boundary(sh, gm, *end, newEnd)
+		}
+		*end = newEnd
+		return true
+	}
+	end1 := ps1.shards[0].epochEnd
+	end2 := ps2.shards[0].epochEnd
+	for i := 0; i < 50; i++ {
+		if !step(ps1, &end1) || !step(ps2, &end2) {
+			t.Fatal("run terminated before the checkpoint point; grow the program")
+		}
+	}
+
+	// Checkpoint machine 1 and speculate it N epochs further, exactly as a
+	// burst would: replay logging on, no deliveries, cursor advanced per
+	// epoch. Validity of the burst is irrelevant — restore must be exact
+	// even for a burst that would have failed validation.
+	const burst = 12
+	for _, sh := range ps1.shards {
+		sh.checkpoint()
+		sh.specLog = true
+	}
+	for k := 0; k < burst; k++ {
+		for _, sh := range ps1.shards {
+			sh.runEpoch()
+		}
+		for _, sh := range ps1.shards {
+			sh.epochEnd += ps1.w
+		}
+	}
+	for _, sh := range ps1.shards {
+		sh.restore()
+		sh.specLog = false
+	}
+
+	// Re-checkpoint both machines and compare the captured state directly:
+	// bit-identical shard images, strand records and counters.
+	for i, sh := range ps1.shards {
+		sh2 := ps2.shards[i]
+		var ck shardCkpt
+		sh.ckpt = shardCkpt{} // drop retained capacity so DeepEqual sees content only
+		sh.checkpoint()
+		ck = sh.ckpt
+		sh2.ckpt = shardCkpt{}
+		sh2.checkpoint()
+		if !reflect.DeepEqual(ck, sh2.ckpt) {
+			t.Fatalf("shard %d state differs after forced restore:\n got  %+v\n want %+v", i, ck, sh2.ckpt)
+		}
+	}
+
+	// Both machines must now run to completion identically — machine 1
+	// replaying the burst's logged items from its replay log.
+	for step(ps1, &end1) {
+	}
+	for step(ps2, &end2) {
+	}
+	r1 := ps1.collect(cfg, marchingProg(16, 120))
+	r2 := ps2.collect(cfg, marchingProg(16, 120))
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("post-restore completion diverged:\n got  %+v\n want %+v", r1, r2)
+	}
+}

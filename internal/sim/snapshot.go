@@ -1,0 +1,116 @@
+package sim
+
+import "sort"
+
+// State returns the cursor's complete accounting state — the inverse of
+// SetState. It exists so a checkpoint can capture a cursor by value and
+// restore it later without the snapshot layer reaching into unexported
+// fields.
+func (c *Cursor) State() (free, busy Time, ops int64) {
+	return c.free, c.busy, c.ops
+}
+
+// EngineImage is a checkpoint of an engine's execution state: the clock,
+// the sequence and step counters, and every pending typed event in
+// execution — (when, seq) — order. Images are plain slices so a caller can
+// pool them and snapshot repeatedly without reallocating (SnapshotInto
+// reuses capacity).
+//
+// Closure (At/After) events cannot be imaged: a func cannot be restored by
+// value, and the simulation hot path schedules none. SnapshotInto panics if
+// one is pending, which turns an accidental closure on the speculated path
+// into an immediate, attributable failure instead of silent divergence.
+type EngineImage struct {
+	Now   Time
+	Seq   uint64
+	Steps uint64
+	Evs   []EventImage
+}
+
+// EventImage is one pending typed event, including its original sequence
+// number: ties between events at one timestamp are broken by seq, so a
+// restore that dropped it would reorder same-cycle handlers and break
+// determinism.
+type EventImage struct {
+	When Time
+	Seq  uint64
+	Arg  int32
+	Kind Kind
+}
+
+// SnapshotInto captures the engine's execution state into img, reusing
+// img's event capacity. The event list is recorded in (when, seq) order —
+// the order RestoreImage reinserts, which is what keeps per-bucket append
+// order equal to sequence order after a restore.
+func (e *Engine) SnapshotInto(img *EngineImage) {
+	img.Now, img.Seq, img.Steps = e.now, e.seq, e.steps
+	img.Evs = img.Evs[:0]
+	if e.heapMode {
+		for _, ev := range e.events {
+			if ev.kind == ClosureKind {
+				panic("sim: SnapshotInto with a pending closure event")
+			}
+			img.Evs = append(img.Evs, EventImage{When: ev.when, Seq: ev.seq, Arg: ev.arg, Kind: ev.kind})
+		}
+		sort.Slice(img.Evs, func(a, b int) bool {
+			if img.Evs[a].When != img.Evs[b].When {
+				return img.Evs[a].When < img.Evs[b].When
+			}
+			return img.Evs[a].Seq < img.Evs[b].Seq
+		})
+		return
+	}
+	// Wheel slots visited in circular time order hold one timestamp each,
+	// appended in seq order, so the traversal is already (when, seq) order.
+	e.forEachOccupied(func(s int) {
+		b := &e.slots[s]
+		for i := b.head; i < len(b.evs); i++ {
+			ev := &b.evs[i]
+			if ev.kind == ClosureKind {
+				panic("sim: SnapshotInto with a pending closure event")
+			}
+			img.Evs = append(img.Evs, EventImage{When: ev.when, Seq: ev.seq, Arg: ev.arg, Kind: ev.kind})
+		}
+	})
+}
+
+// RestoreImage rewinds the engine to a state captured by SnapshotInto:
+// clock, sequence and step counters, and the exact pending-event set with
+// original sequence numbers. Capacity (wheel span, bucket buffers) is
+// retained, so checkpoint/restore cycles do not reallocate. The handler,
+// queue-structure choice, and cancellation arming are untouched — they are
+// configuration, not execution state.
+func (e *Engine) RestoreImage(img *EngineImage) {
+	// Drop whatever is pending now.
+	if e.heapMode {
+		e.events = e.events[:0]
+	} else {
+		e.gen++
+		for i := range e.slots {
+			b := &e.slots[i]
+			if b.evs != nil {
+				e.release(b)
+			}
+		}
+		for _, lv := range e.occ {
+			clear(lv)
+		}
+		e.count = 0
+	}
+	// The clock must be restored before reinsertion: wheel slot indices are
+	// when mod span relative to now, and pushWheel asserts when >= now.
+	e.now, e.seq, e.steps = img.Now, img.Seq, img.Steps
+	if e.heapMode {
+		// img.Evs is sorted by (when, seq); an ascending-sorted array is
+		// already a valid min-heap, so a straight copy restores the queue.
+		for _, iv := range img.Evs {
+			e.events = append(e.events, event{when: iv.When, seq: iv.Seq, arg: iv.Arg, kind: iv.Kind})
+		}
+		return
+	}
+	for _, iv := range img.Evs {
+		e.pushWheel(event{when: iv.When, seq: iv.Seq, arg: iv.Arg, kind: iv.Kind})
+		// pushWheel appends in call order, so the (when, seq) image order
+		// lands each bucket's events in seq order — the pop-order invariant.
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// popLog drains the engine and records every dispatched (now, kind, arg)
+// triple, the observable execution order.
+type popped struct {
+	When Time
+	Kind Kind
+	Arg  int32
+}
+
+func drainLog(e *Engine) []popped {
+	var log []popped
+	e.SetHandler(func(k Kind, a int32) {
+		log = append(log, popped{e.Now(), k, a})
+	})
+	e.Run()
+	return log
+}
+
+// seedSchedule loads a deterministic mix of timestamps with same-cycle tie
+// groups (the case where sequence order matters).
+func seedSchedule(e *Engine) {
+	for i := 0; i < 64; i++ {
+		when := Time((i * 37) % 200)
+		e.Schedule(when, Kind(i%5), int32(i))
+		if i%3 == 0 {
+			e.Schedule(when, Kind(7), int32(1000+i)) // tie at the same cycle
+		}
+	}
+}
+
+func testSnapshotRestore(t *testing.T, heap bool) {
+	mk := func() *Engine {
+		e := &Engine{}
+		if heap {
+			e.UseReferenceHeap()
+		}
+		return e
+	}
+
+	// Control: snapshot mid-run, keep draining untouched.
+	ctl := mk()
+	seedSchedule(ctl)
+	ctl.SetHandler(func(Kind, int32) {})
+	for i := 0; i < 20; i++ {
+		ctl.Step()
+	}
+	var img EngineImage
+	ctl.SnapshotInto(&img)
+	want := drainLog(ctl)
+
+	// Subject: identical prefix, snapshot, then diverge hard — extra
+	// events, extra execution — and restore.
+	sub := mk()
+	seedSchedule(sub)
+	sub.SetHandler(func(Kind, int32) {})
+	for i := 0; i < 20; i++ {
+		sub.Step()
+	}
+	var img2 EngineImage
+	sub.SnapshotInto(&img2)
+	if !reflect.DeepEqual(img, img2) {
+		t.Fatalf("identical engines snapshot differently:\n%+v\n%+v", img, img2)
+	}
+	for i := 0; i < 30; i++ {
+		sub.Step()
+	}
+	sub.Schedule(sub.Now()+500, 9, 9999) // speculative-era event, must vanish
+	sub.Step()
+	sub.RestoreImage(&img2)
+
+	if sub.Now() != img.Now || sub.Steps() != img.Steps || sub.Pending() != len(img.Evs) {
+		t.Fatalf("restore: now=%d steps=%d pending=%d, want now=%d steps=%d pending=%d",
+			sub.Now(), sub.Steps(), sub.Pending(), img.Now, img.Steps, len(img.Evs))
+	}
+	got := drainLog(sub)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored drain order diverged:\ngot  %v\nwant %v", got, want)
+	}
+
+	// A second snapshot/restore cycle must reuse image capacity.
+	evCap := cap(img2.Evs)
+	for i := 0; i < 8; i++ {
+		sub.Schedule(sub.Now()+Time(i), Kind(i%5), int32(i))
+	}
+	sub.SnapshotInto(&img2)
+	if len(img2.Evs) > 0 && len(img2.Evs) <= evCap && cap(img2.Evs) != evCap {
+		t.Fatalf("SnapshotInto reallocated: cap %d -> %d", evCap, cap(img2.Evs))
+	}
+}
+
+func TestEngineSnapshotRestoreWheel(t *testing.T) { testSnapshotRestore(t, false) }
+func TestEngineSnapshotRestoreHeap(t *testing.T)  { testSnapshotRestore(t, true) }
+
+func TestSnapshotPanicsOnClosure(t *testing.T) {
+	e := &Engine{}
+	e.At(5, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SnapshotInto with a pending closure did not panic")
+		}
+	}()
+	var img EngineImage
+	e.SnapshotInto(&img)
+}
+
+func TestCursorStateRoundTrip(t *testing.T) {
+	var c Cursor
+	c.Acquire(10, 7)
+	c.Acquire(12, 3)
+	free, busy, ops := c.State()
+	var d Cursor
+	d.SetState(free, busy, ops)
+	if d != c {
+		t.Fatalf("State/SetState round trip: got %+v want %+v", d, c)
+	}
+}
